@@ -1,0 +1,67 @@
+package main
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"acic/internal/tram"
+)
+
+func TestParseMode(t *testing.T) {
+	cases := map[string]tram.Mode{"WW": tram.WW, "wp": tram.WP, "Pw": tram.PW, "PP": tram.PP}
+	for in, want := range cases {
+		got, err := parseMode(in)
+		if err != nil || got != want {
+			t.Errorf("parseMode(%q) = (%v,%v), want %v", in, got, err, want)
+		}
+	}
+	if _, err := parseMode("XX"); err == nil {
+		t.Error("bad mode accepted")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	dist := []float64{0, 2.5, math.Inf(1), 1.5}
+	reached, sum := summarize(dist)
+	if reached != 3 || sum != 4 {
+		t.Errorf("summarize = (%d,%v)", reached, sum)
+	}
+}
+
+func TestLoadGraphGeneratedKinds(t *testing.T) {
+	for _, kind := range []string{"rmat", "random", "grid"} {
+		g, err := loadGraph("", 0, kind, 8, 4, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumVertices() == 0 {
+			t.Errorf("%s: empty", kind)
+		}
+	}
+	if _, err := loadGraph("", 0, "bogus", 8, 4, 1); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestLoadGraphFromCSV(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "g.csv")
+	if err := os.WriteFile(path, []byte("0,1,2.5\n1,2,3\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	g, err := loadGraph(path, 3, "", 0, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 2 {
+		t.Errorf("NumEdges = %d", g.NumEdges())
+	}
+	if _, err := loadGraph(path, 0, "", 0, 0, 0); err == nil {
+		t.Error("-input without -vertices accepted")
+	}
+	if _, err := loadGraph(filepath.Join(dir, "missing.csv"), 3, "", 0, 0, 0); err == nil {
+		t.Error("missing file accepted")
+	}
+}

@@ -1,0 +1,41 @@
+package main
+
+import "testing"
+
+func TestMakeGraphKinds(t *testing.T) {
+	for _, kind := range []string{"rmat", "random", "grid", "erdos"} {
+		g, err := makeGraph(kind, 8, 4, 1, 64)
+		if err != nil {
+			t.Fatalf("%s: %v", kind, err)
+		}
+		if g.NumVertices() == 0 || g.NumEdges() == 0 {
+			t.Errorf("%s: empty graph", kind)
+		}
+	}
+}
+
+func TestMakeGraphValidation(t *testing.T) {
+	if _, err := makeGraph("nope", 8, 4, 1, 64); err == nil {
+		t.Error("unknown kind accepted")
+	}
+	if _, err := makeGraph("rmat", 0, 4, 1, 64); err == nil {
+		t.Error("scale 0 accepted")
+	}
+	if _, err := makeGraph("rmat", 31, 4, 1, 64); err == nil {
+		t.Error("scale 31 accepted")
+	}
+	if _, err := makeGraph("rmat", 8, 0, 1, 64); err == nil {
+		t.Error("edgefactor 0 accepted")
+	}
+}
+
+func TestMakeGraphDeterministicPerSeed(t *testing.T) {
+	a, _ := makeGraph("rmat", 8, 4, 7, 64)
+	b, _ := makeGraph("rmat", 8, 4, 7, 64)
+	ae, be := a.Edges(), b.Edges()
+	for i := range ae {
+		if ae[i] != be[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}

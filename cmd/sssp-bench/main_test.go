@@ -1,0 +1,33 @@
+package main
+
+import (
+	"testing"
+
+	"acic/internal/bench"
+)
+
+func TestParseNodes(t *testing.T) {
+	got, err := parseNodes("1, 2,4,16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int{1, 2, 4, 16}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("parseNodes = %v", got)
+		}
+	}
+	for _, bad := range []string{"", "x", "1,-2", "0"} {
+		if _, err := parseNodes(bad); err == nil {
+			t.Errorf("parseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLastNode(t *testing.T) {
+	c := bench.DefaultConfig()
+	c.Nodes = []int{1, 2, 8}
+	if lastNode(c) != 8 {
+		t.Errorf("lastNode = %d", lastNode(c))
+	}
+}

@@ -1,0 +1,157 @@
+package bench
+
+import (
+	"fmt"
+
+	"acic/internal/collect"
+	"acic/internal/deltastep"
+)
+
+// The ablations in this file measure the future-work ideas of §V and the
+// design decisions DESIGN.md calls out, beyond the paper's own figures.
+
+// ODPoint measures one over-decomposition factor.
+type ODPoint struct {
+	Factor  int
+	Kind    GraphKind
+	Runtime collect.Sample
+}
+
+// OverDecomposition measures ACIC with chunked round-robin partitioning
+// (§V) at several chunks-per-PE factors, on both graph families. Factor 1
+// is the paper's plain 1-D blocks; RMAT should gain most, since the chunks
+// spread hub neighborhoods.
+func (c Config) OverDecomposition(nodes int, factors []int) ([]ODPoint, error) {
+	var points []ODPoint
+	for _, kind := range []GraphKind{Random, RMAT} {
+		for _, f := range factors {
+			pt := ODPoint{Factor: f, Kind: kind}
+			for trial := 0; trial < c.Trials; trial++ {
+				g, err := c.MakeGraph(kind, trial)
+				if err != nil {
+					return nil, err
+				}
+				p := c.acicParams()
+				p.OverDecomposition = f
+				res, err := c.runACIC(g, nodes, p)
+				if err != nil {
+					return nil, err
+				}
+				pt.Runtime.Add(res)
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// ODTable renders the over-decomposition ablation.
+func ODTable(points []ODPoint) *collect.Table {
+	t := collect.NewTable("§V over-decomposition: chunks/PE vs runtime",
+		"graph", "chunks/PE", "runtime_s(mean)")
+	for _, p := range points {
+		t.AddRow(string(p.Kind), p.Factor, p.Runtime.Mean())
+	}
+	return t
+}
+
+// PolicyPoint measures one threshold policy.
+type PolicyPoint struct {
+	Policy  string
+	Kind    GraphKind
+	Runtime collect.Sample
+	Updates collect.Sample
+}
+
+// ThresholdPolicies contrasts the paper's two-tier threshold rule
+// (Algorithm 1) with the §V smooth histogram-function refinement.
+func (c Config) ThresholdPolicies(nodes int) ([]PolicyPoint, error) {
+	var points []PolicyPoint
+	for _, kind := range []GraphKind{Random, RMAT} {
+		for _, smooth := range []bool{false, true} {
+			name := "two-tier"
+			if smooth {
+				name = "smooth"
+			}
+			pt := PolicyPoint{Policy: name, Kind: kind}
+			for trial := 0; trial < c.Trials; trial++ {
+				g, err := c.MakeGraph(kind, trial)
+				if err != nil {
+					return nil, err
+				}
+				p := c.acicParams()
+				p.SmoothThresholds = smooth
+				res, upd, err := c.runACICWithUpdates(g, nodes, p)
+				if err != nil {
+					return nil, err
+				}
+				pt.Runtime.Add(res)
+				pt.Updates.Add(float64(upd))
+			}
+			points = append(points, pt)
+		}
+	}
+	return points, nil
+}
+
+// PolicyTable renders the threshold-policy ablation.
+func PolicyTable(points []PolicyPoint) *collect.Table {
+	t := collect.NewTable("§V threshold policy: two-tier (Alg. 1) vs smooth",
+		"graph", "policy", "runtime_s(mean)", "updates(mean)")
+	for _, p := range points {
+		t.AddRow(string(p.Kind), p.Policy, p.Runtime.Mean(), p.Updates.Mean())
+	}
+	return t
+}
+
+// DeltaPoint measures one Δ choice of the Δ-stepping baseline.
+type DeltaPoint struct {
+	Label   string
+	Delta   float64
+	Runtime collect.Sample
+	Updates collect.Sample
+}
+
+// DeltaPolicies contrasts the coarse runtime-optimal Δ = max-weight the
+// baseline defaults to with the Meyer-Sanders work-optimal Δ — the
+// parallelism-versus-wasted-work dial the paper describes in §I.
+func (c Config) DeltaPolicies(nodes int) ([]DeltaPoint, error) {
+	g0, err := c.MakeGraph(Random, 0)
+	if err != nil {
+		return nil, err
+	}
+	choices := []DeltaPoint{
+		{Label: "coarse (maxW)", Delta: deltastep.HeuristicDelta(g0)},
+		{Label: "work-optimal", Delta: deltastep.WorkOptimalDelta(g0)},
+	}
+	for i := range choices {
+		for trial := 0; trial < c.Trials; trial++ {
+			g, err := c.MakeGraph(Random, trial)
+			if err != nil {
+				return nil, err
+			}
+			p := c.deltaParams()
+			p.Delta = choices[i].Delta
+			res, err := deltastep.Run(g, 0, deltastep.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: p})
+			if err != nil {
+				return nil, err
+			}
+			if err := c.verifyDist(g, 0, res.Dist, "deltastep"); err != nil {
+				return nil, err
+			}
+			choices[i].Runtime.Add(res.Stats.Elapsed.Seconds())
+			choices[i].Updates.Add(float64(res.Stats.Relaxations))
+		}
+	}
+	return choices, nil
+}
+
+// DeltaTable renders the Δ ablation.
+func DeltaTable(points []DeltaPoint) *collect.Table {
+	t := collect.NewTable("Δ ablation: parallelism vs wasted work (§I)",
+		"Δ policy", "Δ", "runtime_s(mean)", "relaxations(mean)")
+	for _, p := range points {
+		t.AddRow(p.Label, fmt.Sprintf("%.1f", p.Delta), p.Runtime.Mean(), p.Updates.Mean())
+	}
+	return t
+}

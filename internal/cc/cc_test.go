@@ -1,0 +1,168 @@
+package cc
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/netsim"
+)
+
+func runAndVerify(t *testing.T, g *graph.Graph, opts Options) *Result {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(g, opts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("Run failed: %v", o.err)
+		}
+		want := SequentialCC(g)
+		for v := range want {
+			if o.res.Labels[v] != want[v] {
+				t.Fatalf("label mismatch at vertex %d: cc=%d oracle=%d", v, o.res.Labels[v], want[v])
+			}
+		}
+		return o.res
+	case <-time.After(60 * time.Second):
+		t.Fatal("CC run did not terminate")
+		return nil
+	}
+}
+
+func TestTwoComponents(t *testing.T) {
+	g := graph.MustBuild(6, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 1, To: 2, Weight: 1},
+		{From: 4, To: 3, Weight: 1}, {From: 4, To: 5, Weight: 1},
+	})
+	res := runAndVerify(t, g, Options{})
+	if res.Stats.Components != 2 {
+		t.Errorf("Components = %d, want 2", res.Stats.Components)
+	}
+}
+
+func TestDirectionIgnored(t *testing.T) {
+	// 0 <- 1 <- 2: directed edges against the propagation direction still
+	// form one weak component.
+	g := graph.MustBuild(3, []graph.Edge{{From: 2, To: 1, Weight: 1}, {From: 1, To: 0, Weight: 1}})
+	res := runAndVerify(t, g, Options{})
+	if res.Stats.Components != 1 {
+		t.Errorf("Components = %d, want 1", res.Stats.Components)
+	}
+	for v, l := range res.Labels {
+		if l != 0 {
+			t.Errorf("vertex %d label %d, want 0", v, l)
+		}
+	}
+}
+
+func TestIsolatedVertices(t *testing.T) {
+	g := graph.MustBuild(5, nil)
+	res := runAndVerify(t, g, Options{})
+	if res.Stats.Components != 5 {
+		t.Errorf("Components = %d, want 5", res.Stats.Components)
+	}
+}
+
+func TestErdosRenyiComponents(t *testing.T) {
+	// §V names random (Erdős–Rényi) graphs as the candidate workload.
+	g := gen.ErdosRenyi(2000, 2500, gen.Config{Seed: 1})
+	res := runAndVerify(t, g, Options{Topo: netsim.SingleNode(6)})
+	if res.Stats.Reductions == 0 {
+		t.Error("introspection cycle never ran")
+	}
+	if res.Stats.UpdatesCreated != res.Stats.UpdatesProcessed {
+		t.Errorf("not quiescent: %d != %d", res.Stats.UpdatesCreated, res.Stats.UpdatesProcessed)
+	}
+}
+
+func TestRMATComponents(t *testing.T) {
+	g := gen.RMAT(10, 4, gen.DefaultRMAT(), gen.Config{Seed: 2})
+	runAndVerify(t, g, Options{Topo: netsim.SingleNode(4)})
+}
+
+func TestGridOneComponent(t *testing.T) {
+	g := gen.Grid(15, 15, gen.Config{Seed: 3})
+	res := runAndVerify(t, g, Options{})
+	if res.Stats.Components != 1 {
+		t.Errorf("grid components = %d, want 1", res.Stats.Components)
+	}
+}
+
+func TestWithLatency(t *testing.T) {
+	g := gen.ErdosRenyi(800, 1200, gen.Config{Seed: 4})
+	opts := Options{
+		Topo:    netsim.Topology{Nodes: 2, ProcsPerNode: 2, PEsPerProc: 2},
+		Latency: netsim.LatencyModel{IntraProcess: time.Microsecond, InterNode: 8 * time.Microsecond},
+	}
+	runAndVerify(t, g, opts)
+}
+
+func TestChangeTraceDecays(t *testing.T) {
+	// The introspection trace should end at zero changes (converged).
+	g := gen.ErdosRenyi(1500, 3000, gen.Config{Seed: 5})
+	res := runAndVerify(t, g, Options{})
+	if len(res.Stats.ChangeTrace) == 0 {
+		t.Fatal("no change trace")
+	}
+	if last := res.Stats.ChangeTrace[len(res.Stats.ChangeTrace)-1]; last != 0 {
+		t.Errorf("final cycle still saw %d changes", last)
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Path(4)
+	if _, err := Run(g, Options{Topo: netsim.Topology{Nodes: 0, ProcsPerNode: 1, PEsPerProc: 1}}); err == nil {
+		t.Error("invalid topology accepted")
+	}
+}
+
+// Property: labels match union-find on arbitrary random graphs.
+func TestQuickMatchesUnionFind(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed uint64, nRaw uint8, mRaw uint16, pesRaw uint8) bool {
+		n := int(nRaw%150) + 1
+		m := int(mRaw) % (n * 3)
+		pes := int(pesRaw%4) + 1
+		g := gen.Uniform(n, m, gen.Config{Seed: seed})
+		res, err := Run(g, Options{Topo: netsim.SingleNode(pes)})
+		if err != nil {
+			return false
+		}
+		want := SequentialCC(g)
+		for v := range want {
+			if res.Labels[v] != want[v] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSequentialCCOracle(t *testing.T) {
+	g := graph.MustBuild(7, []graph.Edge{
+		{From: 6, To: 5, Weight: 1}, {From: 5, To: 4, Weight: 1},
+		{From: 0, To: 1, Weight: 1}, {From: 2, To: 1, Weight: 1},
+	})
+	labels := SequentialCC(g)
+	want := []int32{0, 0, 0, 3, 4, 4, 4}
+	for v := range want {
+		if labels[v] != want[v] {
+			t.Errorf("oracle label[%d] = %d, want %d", v, labels[v], want[v])
+		}
+	}
+}

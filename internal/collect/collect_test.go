@@ -1,0 +1,162 @@
+package collect
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTEPS(t *testing.T) {
+	if got := TEPS(1000, time.Second); got != 1000 {
+		t.Errorf("TEPS = %v, want 1000", got)
+	}
+	if got := TEPS(500, 250*time.Millisecond); got != 2000 {
+		t.Errorf("TEPS = %v, want 2000", got)
+	}
+	if got := TEPS(100, 0); got != 0 {
+		t.Errorf("TEPS with zero duration = %v, want 0", got)
+	}
+	if got := TEPS(100, -time.Second); got != 0 {
+		t.Errorf("TEPS with negative duration = %v, want 0", got)
+	}
+}
+
+func TestSampleStats(t *testing.T) {
+	var s Sample
+	if s.Mean() != 0 || s.Stddev() != 0 || s.Median() != 0 {
+		t.Error("empty sample stats should be zero")
+	}
+	if !math.IsInf(s.Min(), 1) || !math.IsInf(s.Max(), -1) {
+		t.Error("empty min/max should be infinities")
+	}
+	for _, v := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		s.Add(v)
+	}
+	if s.N() != 8 {
+		t.Errorf("N = %d", s.N())
+	}
+	if s.Mean() != 5 {
+		t.Errorf("Mean = %v, want 5", s.Mean())
+	}
+	// Sample stddev of this classic dataset is ~2.138.
+	if math.Abs(s.Stddev()-2.1381) > 0.001 {
+		t.Errorf("Stddev = %v, want ~2.138", s.Stddev())
+	}
+	if s.Min() != 2 || s.Max() != 9 {
+		t.Errorf("Min/Max = %v/%v", s.Min(), s.Max())
+	}
+	if s.Median() != 4.5 {
+		t.Errorf("Median = %v, want 4.5", s.Median())
+	}
+}
+
+func TestSampleMedianOdd(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{9, 1, 5} {
+		s.Add(v)
+	}
+	if s.Median() != 5 {
+		t.Errorf("Median = %v, want 5", s.Median())
+	}
+}
+
+func TestSampleSingleValue(t *testing.T) {
+	var s Sample
+	s.Add(3)
+	if s.Stddev() != 0 {
+		t.Error("single-value stddev should be 0")
+	}
+	if s.Mean() != 3 || s.Median() != 3 {
+		t.Error("single-value mean/median wrong")
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Fig 7", "nodes", "time", "speedup")
+	tb.AddRow(1, 120*time.Millisecond, 1.36)
+	tb.AddRow(16, 30*time.Millisecond, 1.9)
+	out := tb.String()
+	if !strings.Contains(out, "Fig 7") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "nodes") || !strings.Contains(out, "speedup") {
+		t.Error("headers missing")
+	}
+	if !strings.Contains(out, "120ms") || !strings.Contains(out, "1.36") {
+		t.Errorf("rows missing:\n%s", out)
+	}
+	if tb.NumRows() != 2 {
+		t.Errorf("NumRows = %d", tb.NumRows())
+	}
+}
+
+func TestTableFloatFormatting(t *testing.T) {
+	tb := NewTable("", "v")
+	tb.AddRow(0.0)
+	tb.AddRow(1234567.0)
+	tb.AddRow(0.000123)
+	tb.AddRow(3.14159)
+	out := tb.String()
+	if !strings.Contains(out, "0\n") {
+		t.Errorf("zero not rendered plainly:\n%s", out)
+	}
+	if !strings.Contains(out, "e+06") {
+		t.Errorf("large value not scientific:\n%s", out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("medium value not compact:\n%s", out)
+	}
+}
+
+func TestTableCSV(t *testing.T) {
+	tb := NewTable("ignored title", "a", "b")
+	tb.AddRow("x,y", `say "hi"`)
+	tb.AddRow(1, 2)
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV lines = %d, want 3", len(lines))
+	}
+	if lines[0] != "a,b" {
+		t.Errorf("header = %q", lines[0])
+	}
+	if lines[1] != `"x,y","say ""hi"""` {
+		t.Errorf("escaped row = %q", lines[1])
+	}
+}
+
+func TestSpeedup(t *testing.T) {
+	if got := Speedup(3, 2); got != "1.50x" {
+		t.Errorf("Speedup = %q", got)
+	}
+	if got := Speedup(1, 0); got != "n/a" {
+		t.Errorf("Speedup by zero = %q", got)
+	}
+}
+
+// Property: Min <= Median <= Max and Mean within [Min, Max].
+func TestQuickSampleInvariants(t *testing.T) {
+	f := func(vals []float64) bool {
+		var s Sample
+		for _, v := range vals {
+			if math.IsNaN(v) || math.IsInf(v, 0) || math.Abs(v) > 1e100 {
+				continue // avoid float overflow in the summation itself
+			}
+			s.Add(v)
+		}
+		if s.N() == 0 {
+			return true
+		}
+		return s.Min() <= s.Median() && s.Median() <= s.Max() &&
+			s.Mean() >= s.Min()-1e-9 && s.Mean() <= s.Max()+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

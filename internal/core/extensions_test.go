@@ -1,0 +1,74 @@
+package core
+
+// Tests for the future-work extensions of §V implemented in this package:
+// over-decomposition (chunked round-robin partitioning) and the smooth
+// threshold function.
+
+import (
+	"testing"
+
+	"acic/internal/gen"
+	"acic/internal/netsim"
+	"acic/internal/seq"
+)
+
+func TestOverDecompositionCorrectness(t *testing.T) {
+	g := gen.RMAT(10, 8, gen.DefaultRMAT(), gen.Config{Seed: 20})
+	for _, od := range []int{2, 4, 16} {
+		p := DefaultParams()
+		p.OverDecomposition = od
+		res := runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(4), Params: p})
+		if res.Stats.UpdatesCreated != res.Stats.UpdatesProcessed {
+			t.Errorf("od=%d: not quiescent", od)
+		}
+	}
+}
+
+func TestOverDecompositionOneIsPlainBlocks(t *testing.T) {
+	// od=1 and od=0 must both select the paper's 1-D block layout and
+	// produce identical distances to od>1.
+	g := gen.Uniform(800, 6400, gen.Config{Seed: 21})
+	p0 := DefaultParams()
+	p0.OverDecomposition = 0
+	a := mustRun(t, g, 0, Options{Params: p0})
+	p8 := DefaultParams()
+	p8.OverDecomposition = 8
+	b := mustRun(t, g, 0, Options{Params: p8})
+	if !seq.Equal(a.Dist, b.Dist) {
+		t.Error("over-decomposition changed the fixed point")
+	}
+}
+
+func TestOverDecompositionAcrossTopologies(t *testing.T) {
+	g := gen.Grid(10, 10, gen.Config{Seed: 22})
+	p := DefaultParams()
+	p.OverDecomposition = 4
+	runAndVerify(t, g, 0, Options{
+		Topo:   netsim.Topology{Nodes: 2, ProcsPerNode: 2, PEsPerProc: 2},
+		Params: p,
+	})
+}
+
+func TestSmoothThresholdsCorrectness(t *testing.T) {
+	for _, kind := range []string{"uniform", "rmat"} {
+		var g = gen.Uniform(1500, 12000, gen.Config{Seed: 23})
+		if kind == "rmat" {
+			g = gen.RMAT(10, 8, gen.DefaultRMAT(), gen.Config{Seed: 23})
+		}
+		p := DefaultParams()
+		p.SmoothThresholds = true
+		res := runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(4), Params: p})
+		if res.Stats.Reductions == 0 {
+			t.Errorf("%s: no reductions under smooth policy", kind)
+		}
+	}
+}
+
+func TestSmoothPlusOverDecomposition(t *testing.T) {
+	// Both extensions together.
+	g := gen.RMAT(10, 8, gen.DefaultRMAT(), gen.Config{Seed: 24})
+	p := DefaultParams()
+	p.SmoothThresholds = true
+	p.OverDecomposition = 8
+	runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(6), Params: p})
+}

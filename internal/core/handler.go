@@ -1,0 +1,399 @@
+package core
+
+import (
+	"math"
+	"time"
+
+	"acic/internal/graph"
+	"acic/internal/histogram"
+	"acic/internal/partition"
+	"acic/internal/pq"
+	"acic/internal/runtime"
+	"acic/internal/tram"
+)
+
+// Message types exchanged between PEs. Update batches are the only
+// high-volume traffic; everything else is control.
+type (
+	// seedMsg starts the algorithm on the source vertex's owner.
+	seedMsg struct{ source int32 }
+	// startMsg makes a PE join the continuous reduction cycle.
+	startMsg struct{}
+	// batchMsg carries aggregated updates (a tram flush or an
+	// intra-process demux forward).
+	batchMsg struct{ items []Update }
+	// delayedCtrl re-enters the root PE after a ReductionDelay timer.
+	delayedCtrl struct{ ctrl ctrlMsg }
+)
+
+// ctrlMsg is the broadcast payload closing every reduction cycle.
+type ctrlMsg struct {
+	thresholds histogram.Thresholds
+	// lowestActive is a lower bound on the smallest distance of any active
+	// update, used by the optional vertex-finalization condition.
+	lowestActive float64
+	terminate    bool
+	finalizedAll bool
+}
+
+// reduceVal is the per-PE contribution combined up the reduction tree.
+type reduceVal struct {
+	hist      *histogram.Histogram
+	finalized int64
+}
+
+func combineReduce(a, b any) any {
+	av, bv := a.(*reduceVal), b.(*reduceVal)
+	av.hist.Merge(bv.hist)
+	av.finalized += bv.finalized
+	return av
+}
+
+// peState is the ACIC handler living on one PE. All fields are owned by the
+// PE goroutine; the tram manager handles its own cross-PE sharing.
+type peState struct {
+	shared *sharedState
+	params Params
+
+	me     int       // this PE's index
+	dist   []float64 // tentative distances for the local vertices
+	parent []int32   // predecessor on the best known path, -1 if none
+
+	hist     *histogram.Histogram
+	queue    *pq.BinaryHeap // accepted updates, min-distance first
+	pqHold   [][]Update     // per-bucket holds above t_pq
+	tramHold [][]Update     // per-bucket holds above t_tram
+
+	tTram, tPQ   int
+	lowestActive float64
+
+	// Local measurement counters, summed by the driver after the run.
+	rejected    int64
+	relaxations int64
+
+	// Root-only state (PE 0).
+	reductions     int64
+	prevEqualSum   int64
+	terminated     bool
+	finalizedEarly bool
+	histTrace      []HistSnapshot
+}
+
+// Partition abstracts vertex-to-PE placement so ACIC can run on the
+// paper's vertex-balanced 1-D blocks (partition.OneD) or the future-work
+// over-decomposed chunked layout (partition.Chunked, §V).
+type Partition interface {
+	NumPEs() int
+	Owner(v int32) int
+	Size(pe int) int
+	LocalIndex(v int32) int
+	GlobalOf(pe, local int) int32
+}
+
+var (
+	_ Partition = (*partition.OneD)(nil)
+	_ Partition = (*partition.Chunked)(nil)
+)
+
+// sharedState is read-mostly state shared by all PEs of one run.
+type sharedState struct {
+	g    *graph.Graph
+	part Partition
+	tm   *tram.Manager[Update]
+	rt   *runtime.Runtime
+}
+
+var _ runtime.Handler = (*peState)(nil)
+
+func newPEState(sh *sharedState, pe *runtime.PE, p Params) *peState {
+	st := &peState{
+		shared:       sh,
+		params:       p,
+		me:           pe.Index(),
+		dist:         make([]float64, sh.part.Size(pe.Index())),
+		parent:       make([]int32, sh.part.Size(pe.Index())),
+		hist:         histogram.New(p.BucketCount, p.BucketWidth),
+		queue:        pq.NewBinaryHeap(64),
+		pqHold:       make([][]Update, p.BucketCount),
+		tramHold:     make([][]Update, p.BucketCount),
+		tTram:        p.BucketCount - 1, // everything flows until told otherwise
+		tPQ:          p.BucketCount - 1,
+		lowestActive: 0,
+		prevEqualSum: -1,
+	}
+	for i := range st.dist {
+		st.dist[i] = math.Inf(1)
+		st.parent[i] = -1
+	}
+	return st
+}
+
+func (st *peState) localDist(v int32) float64 { return st.dist[st.shared.part.LocalIndex(v)] }
+func (st *peState) setDist(v int32, d float64) {
+	st.dist[st.shared.part.LocalIndex(v)] = d
+}
+
+// Deliver implements runtime.Handler.
+func (st *peState) Deliver(pe *runtime.PE, msg any) {
+	switch m := msg.(type) {
+	case batchMsg:
+		st.receiveBatch(pe, m.items)
+	case seedMsg:
+		st.seed(pe, m.source)
+	case startMsg:
+		st.contribute(pe, 0)
+	case delayedCtrl:
+		pe.Broadcast(st.reductions, m.ctrl)
+	case runtime.Quiescence:
+		// ACIC detects quiescence itself; the runtime-level detector is
+		// not enabled for ACIC runs. Ignore defensively.
+	}
+}
+
+// seed performs the virtual relaxation of the source vertex: distance 0,
+// one onward update per out-edge (§II-A). The virtual update is counted
+// created and processed so the quiescence counters can never both be zero
+// after seeding, closing the empty-start termination race.
+func (st *peState) seed(pe *runtime.PE, source int32) {
+	st.hist.AddCreated(0)
+	st.setDist(source, 0)
+	st.relaxOutEdges(pe, source, 0)
+	st.hist.AddProcessed(0)
+}
+
+// receiveBatch demultiplexes an arriving tram batch. Under process-
+// granularity aggregation the batch may hold updates for sibling PEs; those
+// are re-bundled per owner and forwarded intra-process, the role of the SMP
+// communication thread in the paper's configuration.
+func (st *peState) receiveBatch(pe *runtime.PE, items []Update) {
+	var forwards map[int][]Update
+	me := pe.Index()
+	for _, u := range items {
+		owner := st.shared.part.Owner(u.Vertex)
+		if owner == me {
+			st.receiveUpdate(pe, u)
+			continue
+		}
+		if forwards == nil {
+			forwards = make(map[int][]Update)
+		}
+		forwards[owner] = append(forwards[owner], u)
+	}
+	for owner, group := range forwards {
+		pe.Send(owner, batchMsg{items: group}, len(group))
+	}
+}
+
+// receiveUpdate applies the arrival rules of §II-C: an update that improves
+// the vertex distance is applied immediately and parked in pq or pq_hold by
+// the pq threshold; anything else is rejected and counted processed.
+func (st *peState) receiveUpdate(pe *runtime.PE, u Update) {
+	if st.params.ComputeCost > 0 {
+		pe.Work(st.params.ComputeCost)
+	}
+	if u.Dist < st.localDist(u.Vertex) {
+		li := st.shared.part.LocalIndex(u.Vertex)
+		st.dist[li] = u.Dist
+		st.parent[li] = u.Pred
+		if b := st.hist.BucketOf(u.Dist); b <= st.tPQ {
+			st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
+		} else {
+			st.pqHold[b] = append(st.pqHold[b], u)
+		}
+		return
+	}
+	st.rejected++
+	st.hist.AddProcessed(u.Dist)
+}
+
+// Idle implements the paper's idle trigger: pop the lowest-distance update
+// and, only if it still carries the vertex's best known distance, relax the
+// out-edges (§II-C). One pop per invocation keeps the PE responsive to
+// arriving messages.
+func (st *peState) Idle(pe *runtime.PE) bool {
+	if st.queue.Len() == 0 {
+		return false
+	}
+	it := st.queue.Pop()
+	v := int32(it.Value)
+	d := it.Key
+	if st.localDist(v) == d {
+		st.relaxOutEdges(pe, v, d)
+	}
+	// Either way the update's processing is now complete: superseded
+	// entries produce no onward updates.
+	st.hist.AddProcessed(d)
+	return true
+}
+
+// relaxOutEdges creates one onward update per out-edge of v (§II-A) and
+// routes each through the tram threshold.
+func (st *peState) relaxOutEdges(pe *runtime.PE, v int32, d float64) {
+	ts, ws := st.shared.g.Neighbors(int(v))
+	for i, w := range ts {
+		st.createUpdate(pe, Update{Vertex: w, Pred: v, Dist: d + ws[i]})
+	}
+	st.relaxations += int64(len(ts))
+	if st.params.ComputeCost > 0 {
+		pe.Work(time.Duration(len(ts)) * st.params.ComputeCost)
+	}
+}
+
+// createUpdate registers a new update in the histogram and either hands it
+// to tramlib (bucket within t_tram) or parks it in tram_hold.
+func (st *peState) createUpdate(pe *runtime.PE, u Update) {
+	st.hist.AddCreated(u.Dist)
+	if b := st.hist.BucketOf(u.Dist); b <= st.tTram {
+		st.tramInsert(pe, u)
+	} else {
+		st.tramHold[b] = append(st.tramHold[b], u)
+	}
+}
+
+func (st *peState) tramInsert(pe *runtime.PE, u Update) {
+	dst := st.shared.part.Owner(u.Vertex)
+	if batch := st.shared.tm.Insert(pe.Index(), dst, u); batch != nil {
+		pe.Send(batch.DestPE, batchMsg{items: batch.Items}, len(batch.Items))
+	}
+}
+
+// contribute snapshots the local histogram (and, optionally, the count of
+// locally finalized vertices) into reduction epoch.
+func (st *peState) contribute(pe *runtime.PE, epoch int64) {
+	rv := &reduceVal{hist: st.hist.Snapshot()}
+	if st.params.TerminateOnAllFinal {
+		rv.finalized = st.countFinalized()
+	}
+	pe.Contribute(epoch, rv)
+}
+
+// countFinalized counts local vertices whose distance is already below
+// every active update's distance — they can never improve (non-negative
+// weights). Unreachable vertices (Inf) never qualify, the flaw that made
+// the paper abandon this as the sole termination condition.
+func (st *peState) countFinalized() int64 {
+	var n int64
+	for _, d := range st.dist {
+		if d < st.lowestActive {
+			n++
+		}
+	}
+	return n
+}
+
+// OnReduction runs at the root: Algorithm 1 plus the quiescence check.
+func (st *peState) OnReduction(pe *runtime.PE, epoch int64, value any) {
+	if st.terminated {
+		return
+	}
+	rv := value.(*reduceVal)
+	global := rv.hist
+	st.reductions++
+
+	ctrl := ctrlMsg{}
+
+	// Quiescence: equal created/processed sums in two consecutive
+	// reductions (§II-D). The paper requires two to close the race where
+	// counters match while messages are still unprocessed.
+	c, p := global.Created, global.Processed
+	if c == p && c > 0 {
+		if st.prevEqualSum == c {
+			ctrl.terminate = true
+		}
+		st.prevEqualSum = c
+	} else {
+		st.prevEqualSum = -1
+	}
+
+	// Experimental early termination: all vertices finalized (§II-D).
+	if st.params.TerminateOnAllFinal && rv.finalized == int64(st.shared.g.NumVertices()) {
+		ctrl.terminate = true
+		ctrl.finalizedAll = true
+		st.finalizedEarly = true
+	}
+
+	numPEs := pe.NumPEs()
+	hp := histogram.Params{PTram: st.params.PTram, PPQ: st.params.PPQ, LowWatermarkPerPE: st.params.LowWatermarkPerPE}
+	if st.params.SmoothThresholds {
+		ctrl.thresholds = histogram.ComputeSmoothThresholds(global, numPEs, hp)
+	} else {
+		ctrl.thresholds = histogram.ComputeThresholds(global, numPEs, hp)
+	}
+	if lb := global.LowestNonEmpty(); lb >= 0 {
+		ctrl.lowestActive = float64(lb) * global.Width()
+	} else {
+		ctrl.lowestActive = math.Inf(1)
+	}
+
+	if st.params.HistogramTrace {
+		snap := HistSnapshot{
+			Epoch:  epoch,
+			Active: global.Active(),
+			TTram:  ctrl.thresholds.Tram,
+			TPQ:    ctrl.thresholds.PQ,
+		}
+		snap.Buckets = make([]int64, global.NumBuckets())
+		for i := range snap.Buckets {
+			snap.Buckets[i] = global.Bucket(i)
+		}
+		st.histTrace = append(st.histTrace, snap)
+	}
+
+	if st.params.ReductionDelay > 0 && !ctrl.terminate {
+		rt := st.shared.rt
+		time.AfterFunc(st.params.ReductionDelay, func() {
+			rt.Inject(0, delayedCtrl{ctrl: ctrl})
+		})
+		return
+	}
+	pe.Broadcast(epoch, ctrl)
+}
+
+// OnBroadcast applies a control broadcast on every PE: adopt the new
+// thresholds, drain the holds they release (lowest buckets first, §II-C),
+// explicitly flush tramlib (tail progress, §II-D), and join the next
+// reduction cycle.
+func (st *peState) OnBroadcast(pe *runtime.PE, epoch int64, payload any) {
+	ctrl := payload.(ctrlMsg)
+	if ctrl.terminate {
+		st.terminated = true
+		pe.Exit()
+		return
+	}
+	st.tTram = ctrl.thresholds.Tram
+	st.tPQ = ctrl.thresholds.PQ
+	st.lowestActive = ctrl.lowestActive
+
+	// Release tram holds within the new threshold, ascending buckets.
+	for b := 0; b <= st.tTram; b++ {
+		if len(st.tramHold[b]) == 0 {
+			continue
+		}
+		for _, u := range st.tramHold[b] {
+			st.tramInsert(pe, u)
+		}
+		st.tramHold[b] = nil
+	}
+	// Release pq holds within the new threshold. A held update whose
+	// vertex has since improved past it is dead: complete it here rather
+	// than pay a heap push/pop.
+	for b := 0; b <= st.tPQ; b++ {
+		if len(st.pqHold[b]) == 0 {
+			continue
+		}
+		for _, u := range st.pqHold[b] {
+			if st.localDist(u.Vertex) < u.Dist {
+				st.hist.AddProcessed(u.Dist)
+				continue
+			}
+			st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
+		}
+		st.pqHold[b] = nil
+	}
+	// Explicit tram flush: guarantees buffered updates move even when the
+	// tail of the graph cannot fill a buffer.
+	for _, batch := range st.shared.tm.FlushSet(pe.Index()) {
+		pe.Send(batch.DestPE, batchMsg{items: batch.Items}, len(batch.Items))
+	}
+	st.contribute(pe, epoch+1)
+}

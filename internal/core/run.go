@@ -1,0 +1,103 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"acic/internal/graph"
+	"acic/internal/netsim"
+	"acic/internal/partition"
+	"acic/internal/runtime"
+	"acic/internal/tram"
+)
+
+// Run executes ACIC on g from source and returns the distance vector and
+// run statistics. It builds the whole simulated machine — network, runtime,
+// tramlib — runs to termination, and tears it down.
+func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
+	topo := opts.Topo
+	if topo == (netsim.Topology{}) {
+		topo = netsim.SingleNode(4)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if source < 0 || source >= g.NumVertices() {
+		return nil, fmt.Errorf("core: source %d out of range [0,%d)", source, g.NumVertices())
+	}
+	params, err := opts.Params.withDefaults(g.NumVertices())
+	if err != nil {
+		return nil, err
+	}
+
+	tm, err := tram.New[Update](topo, params.TramMode, params.TramCapacity)
+	if err != nil {
+		return nil, err
+	}
+	var part Partition = partition.NewOneD(g.NumVertices(), topo.TotalPEs())
+	if params.OverDecomposition > 1 {
+		part = partition.NewChunked(g.NumVertices(), topo.TotalPEs(), params.OverDecomposition)
+	}
+	sh := &sharedState{
+		g:    g,
+		part: part,
+		tm:   tm,
+	}
+
+	rt, err := runtime.New(runtime.Config{
+		Topo:    topo,
+		Latency: opts.Latency,
+		Combine: combineReduce,
+		Trace:   opts.Trace,
+	})
+	if err != nil {
+		return nil, err
+	}
+	sh.rt = rt
+
+	states := make([]*peState, topo.TotalPEs())
+	rt.Start(func(pe *runtime.PE) runtime.Handler {
+		st := newPEState(sh, pe, params)
+		states[pe.Index()] = st
+		return st
+	})
+
+	start := time.Now()
+	// Seed the source relaxation, then pull every PE into the continuous
+	// reduction cycle.
+	rt.Inject(sh.part.Owner(int32(source)), seedMsg{source: int32(source)})
+	for i := 0; i < topo.TotalPEs(); i++ {
+		rt.Inject(i, startMsg{})
+	}
+	rt.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Dist:   make([]float64, g.NumVertices()),
+		Parent: make([]int32, g.NumVertices()),
+		Stats:  Stats{Elapsed: elapsed},
+	}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+		res.Parent[i] = -1
+	}
+	root := states[0]
+	res.Stats.Reductions = root.reductions
+	res.Stats.HistTrace = root.histTrace
+	for peIdx, st := range states {
+		for local, d := range st.dist {
+			gv := sh.part.GlobalOf(peIdx, local)
+			res.Dist[gv] = d
+			res.Parent[gv] = st.parent[local]
+		}
+		res.Stats.UpdatesCreated += st.hist.Created
+		res.Stats.UpdatesProcessed += st.hist.Processed
+		res.Stats.UpdatesRejected += st.rejected
+		res.Stats.Relaxations += st.relaxations
+	}
+	res.Stats.FinalizedEarly = root.finalizedEarly
+	res.Stats.TramStats = tm.Stats()
+	res.Stats.Network = rt.NetworkStats()
+	return res, nil
+}

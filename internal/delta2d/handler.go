@@ -1,0 +1,423 @@
+package delta2d
+
+import (
+	"math"
+
+	"acic/internal/runtime"
+)
+
+// peState is the 2-D Δ-stepping handler on one grid PE. Every PE stores an
+// adjacency-matrix block; only PEs whose row-block and column-block ranges
+// intersect also own vertex state (the intersection is a contiguous vertex
+// interval, possibly empty).
+type peState struct {
+	shared *sharedState
+	params Params
+	delta  float64
+
+	row, col int
+
+	// Stored edges: out-edges (u → v) with rowOf(u) == row, colOf(v) == col.
+	edges map[int32][]halfEdge
+
+	// Owned vertex state over [ownerLo, ownerHi).
+	ownerLo, ownerHi int32
+	dist             []float64
+
+	buckets      [][]int32
+	inBucket     []int32
+	wasInR       []bool
+	settled      []int32
+	frontier     []int32 // BF-mode improved vertices
+	inFront      []bool
+	bfMode       bool
+	current      int32
+	epochSettled int64
+
+	sent, received int64
+	changed        bool
+
+	relaxations  int64
+	rejected     int64
+	frontierMsgs int64
+
+	root rootState
+}
+
+type rootState struct {
+	supersteps        int64
+	bucketsProcessed  int64
+	bfRounds          int64
+	switched          bool
+	phase             phase
+	epochSettledAccum int64
+	prevSettled       int64
+	rose              bool
+	terminated        bool
+}
+
+type phase uint8
+
+const (
+	phaseLight phase = iota
+	phaseLightDrain
+	phaseHeavy
+	phaseHeavyDrain
+	phaseBF
+)
+
+var _ runtime.Handler = (*peState)(nil)
+
+func newPEState(sh *sharedState, pe *runtime.PE, p Params, delta float64, edges map[int32][]halfEdge) *peState {
+	row := pe.Index() / sh.cols
+	col := pe.Index() % sh.cols
+	rlo, rhi := sh.rPart.Range(row)
+	clo, chi := sh.cPart.Range(col)
+	lo, hi := rlo, rhi
+	if clo > lo {
+		lo = clo
+	}
+	if chi < hi {
+		hi = chi
+	}
+	if hi < lo {
+		hi = lo // empty ownership interval
+	}
+	n := int(hi - lo)
+	st := &peState{
+		shared:   sh,
+		params:   p,
+		delta:    delta,
+		row:      row,
+		col:      col,
+		edges:    edges,
+		ownerLo:  lo,
+		ownerHi:  hi,
+		dist:     make([]float64, n),
+		buckets:  make([][]int32, 1),
+		inBucket: make([]int32, n),
+		wasInR:   make([]bool, n),
+		inFront:  make([]bool, n),
+	}
+	for i := range st.dist {
+		st.dist[i] = math.Inf(1)
+		st.inBucket[i] = -1
+	}
+	return st
+}
+
+func (st *peState) owns(v int32) bool { return v >= st.ownerLo && v < st.ownerHi }
+
+func (st *peState) maxBuckets() int {
+	if st.params.MaxBuckets > 0 {
+		return st.params.MaxBuckets
+	}
+	return 1 << 16
+}
+
+func (st *peState) bucketOf(d float64) int32 {
+	b := int32(d / st.delta)
+	if int(b) >= st.maxBuckets() {
+		b = int32(st.maxBuckets() - 1)
+	}
+	if b < 0 {
+		b = 0
+	}
+	return b
+}
+
+func (st *peState) place(v int32, d float64) {
+	li := v - st.ownerLo
+	b := st.bucketOf(d)
+	for int(b) >= len(st.buckets) {
+		st.buckets = append(st.buckets, nil)
+	}
+	st.buckets[b] = append(st.buckets[b], v)
+	st.inBucket[li] = b
+}
+
+func (st *peState) localMinBucket() int32 {
+	for b := int32(0); int(b) < len(st.buckets); b++ {
+		for _, v := range st.buckets[b] {
+			li := v - st.ownerLo
+			if st.inBucket[li] == b && st.bucketOf(st.dist[li]) == b {
+				return b
+			}
+		}
+	}
+	return -1
+}
+
+// Deliver implements runtime.Handler.
+func (st *peState) Deliver(pe *runtime.PE, msg any) {
+	switch m := msg.(type) {
+	case batchMsg:
+		st.receiveBatch(pe, m.items)
+	case startMsg:
+		if st.owns(m.source) {
+			st.dist[m.source-st.ownerLo] = 0
+			st.place(m.source, 0)
+		}
+		st.contribute(pe, 0)
+	}
+}
+
+// Idle implements runtime.Handler: bulk-synchronous, no background work.
+func (st *peState) Idle(pe *runtime.PE) bool { return false }
+
+// send routes one wire item through tramlib, stamping its grid target.
+func (st *peState) send(pe *runtime.PE, dst int, w wire) {
+	st.sent++
+	w.Dest = int32(dst)
+	if batch := st.shared.tm.Insert(pe.Index(), dst, w); batch != nil {
+		pe.Send(batch.DestPE, batchMsg{items: batch.Items}, len(batch.Items))
+	}
+}
+
+// announce broadcasts a frontier entry along this vertex's grid row — the
+// row-confined communication pattern of the 2-D layout.
+func (st *peState) announce(pe *runtime.PE, v int32, d float64, kind wireKind) {
+	r := st.shared.rPart.Owner(v)
+	for c := 0; c < st.shared.cols; c++ {
+		st.send(pe, st.shared.peAt(r, c), wire{Vertex: v, Dist: d, Kind: kind})
+	}
+	st.frontierMsgs += int64(st.shared.cols)
+}
+
+func (st *peState) receiveBatch(pe *runtime.PE, items []wire) {
+	me := pe.Index()
+	var forwards map[int][]wire
+	for _, w := range items {
+		// Every wire carries its intended grid PE; process-granularity
+		// batches are demuxed here exactly like the SMP comm thread in the
+		// 1-D algorithms.
+		if dest := int(w.Dest); dest != me {
+			if forwards == nil {
+				forwards = make(map[int][]wire)
+			}
+			forwards[dest] = append(forwards[dest], w)
+			continue
+		}
+		st.received++
+		if st.params.ComputeCost > 0 {
+			pe.Work(st.params.ComputeCost)
+		}
+		if w.Kind == wireCandidate {
+			st.applyCandidate(w)
+		} else {
+			st.relaxStored(pe, w)
+		}
+	}
+	for dst, group := range forwards {
+		pe.Send(dst, batchMsg{items: group}, len(group))
+	}
+}
+
+// applyCandidate applies a relaxation result at the vertex owner.
+func (st *peState) applyCandidate(w wire) {
+	li := w.Vertex - st.ownerLo
+	if w.Dist >= st.dist[li] {
+		st.rejected++
+		return
+	}
+	st.dist[li] = w.Dist
+	st.changed = true
+	if st.bfMode {
+		if !st.inFront[li] {
+			st.inFront[li] = true
+			st.frontier = append(st.frontier, w.Vertex)
+		}
+		return
+	}
+	st.place(w.Vertex, w.Dist)
+}
+
+// relaxStored relaxes this PE's stored edges of the announced vertex,
+// producing column-confined candidates.
+func (st *peState) relaxStored(pe *runtime.PE, w wire) {
+	for _, he := range st.edges[w.Vertex] {
+		switch w.Kind {
+		case wireFrontierLight:
+			if he.w > st.delta {
+				continue
+			}
+		case wireFrontierHeavy:
+			if he.w <= st.delta {
+				continue
+			}
+		}
+		st.relaxations++
+		if st.params.ComputeCost > 0 {
+			pe.Work(st.params.ComputeCost)
+		}
+		st.send(pe, st.shared.owner(he.to), wire{Vertex: he.to, Dist: w.Dist + he.w, Kind: wireCandidate})
+	}
+}
+
+// drainLight releases owned current-bucket vertices as light frontier.
+func (st *peState) drainLight(pe *runtime.PE) {
+	b := st.current
+	if int(b) >= len(st.buckets) {
+		return
+	}
+	entries := st.buckets[b]
+	st.buckets[b] = nil
+	for _, v := range entries {
+		li := v - st.ownerLo
+		if st.inBucket[li] != b || st.bucketOf(st.dist[li]) != b {
+			continue
+		}
+		st.inBucket[li] = -1
+		if !st.wasInR[li] {
+			st.wasInR[li] = true
+			st.settled = append(st.settled, v)
+			st.epochSettled++
+		}
+		st.announce(pe, v, st.dist[li], wireFrontierLight)
+	}
+}
+
+func (st *peState) relaxHeavyPhase(pe *runtime.PE) {
+	for _, v := range st.settled {
+		li := v - st.ownerLo
+		st.wasInR[li] = false
+		st.announce(pe, v, st.dist[li], wireFrontierHeavy)
+	}
+	st.settled = st.settled[:0]
+}
+
+func (st *peState) enterBF() {
+	st.bfMode = true
+	for b := range st.buckets {
+		for _, v := range st.buckets[b] {
+			li := v - st.ownerLo
+			if st.inBucket[li] == int32(b) && !st.inFront[li] {
+				st.inFront[li] = true
+				st.frontier = append(st.frontier, v)
+				st.inBucket[li] = -1
+			}
+		}
+		st.buckets[b] = nil
+	}
+}
+
+func (st *peState) bfRound(pe *runtime.PE) {
+	front := st.frontier
+	st.frontier = nil
+	for _, v := range front {
+		li := v - st.ownerLo
+		st.inFront[li] = false
+		st.announce(pe, v, st.dist[li], wireFrontierAll)
+	}
+}
+
+func (st *peState) contribute(pe *runtime.PE, epoch int64) {
+	for _, batch := range st.shared.tm.FlushSet(pe.Index()) {
+		pe.Send(batch.DestPE, batchMsg{items: batch.Items}, len(batch.Items))
+	}
+	s := &status{
+		sent:      st.sent,
+		received:  st.received,
+		minBucket: -1,
+		changed:   st.changed,
+		settled:   st.epochSettled,
+	}
+	st.changed = false
+	st.epochSettled = 0
+	if !st.bfMode {
+		s.minBucket = st.localMinBucket()
+	}
+	if st.bfMode && len(st.frontier) > 0 {
+		s.changed = true
+	}
+	pe.Contribute(epoch, s)
+}
+
+// OnBroadcast executes the root's command.
+func (st *peState) OnBroadcast(pe *runtime.PE, epoch int64, payload any) {
+	ctrl := payload.(ctrlMsg)
+	switch ctrl.cmd {
+	case cmdTerminate:
+		pe.Exit()
+		return
+	case cmdWait:
+	case cmdDrainLight, cmdAdvance:
+		st.current = ctrl.bucket
+		st.drainLight(pe)
+	case cmdHeavy:
+		st.relaxHeavyPhase(pe)
+	case cmdBellmanFord:
+		if !st.bfMode {
+			st.enterBF()
+		}
+		st.bfRound(pe)
+	}
+	st.contribute(pe, epoch+1)
+}
+
+// OnReduction drives the same phase state machine as the 1-D baseline.
+func (st *peState) OnReduction(pe *runtime.PE, epoch int64, value any) {
+	if st.root.terminated {
+		return
+	}
+	s := value.(*status)
+	st.root.supersteps++
+	r := &st.root
+	inFlight := s.sent != s.received
+
+	var ctrl ctrlMsg
+	switch r.phase {
+	case phaseLight, phaseLightDrain:
+		r.epochSettledAccum += s.settled
+		if inFlight {
+			ctrl = ctrlMsg{cmd: cmdWait}
+			r.phase = phaseLightDrain
+			break
+		}
+		if s.minBucket >= 0 && s.minBucket <= st.current {
+			ctrl = ctrlMsg{cmd: cmdDrainLight, bucket: st.current}
+			r.phase = phaseLight
+			break
+		}
+		ctrl = ctrlMsg{cmd: cmdHeavy}
+		r.phase = phaseHeavy
+	case phaseHeavy, phaseHeavyDrain:
+		if inFlight {
+			ctrl = ctrlMsg{cmd: cmdWait}
+			r.phase = phaseHeavyDrain
+			break
+		}
+		r.bucketsProcessed++
+		settledNow := r.epochSettledAccum
+		r.epochSettledAccum = 0
+		if settledNow > r.prevSettled {
+			r.rose = true
+		}
+		useBF := st.params.Hybrid && r.rose && settledNow < r.prevSettled
+		r.prevSettled = settledNow
+		if s.minBucket < 0 {
+			ctrl = ctrlMsg{cmd: cmdTerminate}
+			r.terminated = true
+			break
+		}
+		if useBF {
+			r.switched = true
+			r.bfRounds++
+			ctrl = ctrlMsg{cmd: cmdBellmanFord}
+			r.phase = phaseBF
+			break
+		}
+		st.current = s.minBucket
+		ctrl = ctrlMsg{cmd: cmdAdvance, bucket: s.minBucket}
+		r.phase = phaseLight
+	case phaseBF:
+		if inFlight || s.changed {
+			r.bfRounds++
+			ctrl = ctrlMsg{cmd: cmdBellmanFord}
+			break
+		}
+		ctrl = ctrlMsg{cmd: cmdTerminate}
+		r.terminated = true
+	}
+	pe.Broadcast(epoch, ctrl)
+}

@@ -1,0 +1,122 @@
+package delta2d
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"acic/internal/deltastep"
+	"acic/internal/netsim"
+	"acic/internal/partition"
+	"acic/internal/runtime"
+	"acic/internal/tram"
+
+	"acic/internal/graph"
+)
+
+// Run executes 2-D Δ-stepping on g from source over the simulated machine.
+func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
+	topo := opts.Topo
+	if topo == (netsim.Topology{}) {
+		topo = netsim.SingleNode(4)
+	}
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if source < 0 || source >= g.NumVertices() {
+		return nil, fmt.Errorf("delta2d: source %d out of range [0,%d)", source, g.NumVertices())
+	}
+	params := opts.Params
+	if params.Delta == 0 {
+		params.Delta = deltastep.HeuristicDelta(g)
+	}
+	if params.Delta <= 0 || math.IsNaN(params.Delta) {
+		return nil, fmt.Errorf("delta2d: invalid delta %v", params.Delta)
+	}
+	if params.TramCapacity <= 0 {
+		params.TramCapacity = tram.DefaultCapacity
+	}
+	pes := topo.TotalPEs()
+	rows := params.Rows
+	if rows <= 0 {
+		rows, _ = SquarestGrid(pes)
+	}
+	if rows < 1 || pes%rows != 0 {
+		return nil, fmt.Errorf("delta2d: %d PEs do not form a grid with %d rows", pes, rows)
+	}
+	cols := pes / rows
+
+	tm, err := tram.New[wire](topo, params.TramMode, params.TramCapacity)
+	if err != nil {
+		return nil, err
+	}
+	sh := &sharedState{
+		g:     g,
+		rPart: partition.NewOneD(g.NumVertices(), rows),
+		cPart: partition.NewOneD(g.NumVertices(), cols),
+		rows:  rows,
+		cols:  cols,
+		tm:    tm,
+	}
+
+	// Distribute the adjacency matrix: edge (u → v) to PE
+	// (rowOf(u), colOf(v)).
+	stores := make([]map[int32][]halfEdge, pes)
+	for i := range stores {
+		stores[i] = make(map[int32][]halfEdge)
+	}
+	g.EachEdge(func(from, to int32, w float64) {
+		pe := sh.peAt(sh.rPart.Owner(from), sh.cPart.Owner(to))
+		stores[pe][from] = append(stores[pe][from], halfEdge{to: to, w: w})
+	})
+
+	rt, err := runtime.New(runtime.Config{
+		Topo:    topo,
+		Latency: opts.Latency,
+		Combine: combineStatus,
+	})
+	if err != nil {
+		return nil, err
+	}
+	states := make([]*peState, pes)
+	rt.Start(func(pe *runtime.PE) runtime.Handler {
+		st := newPEState(sh, pe, params, params.Delta, stores[pe.Index()])
+		states[pe.Index()] = st
+		return st
+	})
+
+	start := time.Now()
+	for i := 0; i < pes; i++ {
+		rt.Inject(i, startMsg{source: int32(source)})
+	}
+	rt.Wait()
+	elapsed := time.Since(start)
+
+	res := &Result{
+		Dist: make([]float64, g.NumVertices()),
+		Stats: Stats{
+			Elapsed:  elapsed,
+			GridRows: rows,
+			GridCols: cols,
+		},
+	}
+	for i := range res.Dist {
+		res.Dist[i] = math.Inf(1)
+	}
+	root := states[0]
+	res.Stats.Supersteps = root.root.supersteps
+	res.Stats.BucketsProcessed = root.root.bucketsProcessed
+	res.Stats.SwitchedToBF = root.root.switched
+	res.Stats.BFRounds = root.root.bfRounds
+	for _, st := range states {
+		for li, d := range st.dist {
+			res.Dist[st.ownerLo+int32(li)] = d
+		}
+		res.Stats.Relaxations += st.relaxations
+		res.Stats.Rejected += st.rejected
+		res.Stats.FrontierMsgs += st.frontierMsgs
+	}
+	res.Stats.TramStats = tm.Stats()
+	res.Stats.Network = rt.NetworkStats()
+	return res, nil
+}

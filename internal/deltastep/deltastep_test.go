@@ -1,0 +1,252 @@
+package deltastep
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/netsim"
+	"acic/internal/seq"
+	"acic/internal/tram"
+)
+
+func mustRun(t *testing.T, g *graph.Graph, source int, opts Options) *Result {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(g, source, opts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("Run failed: %v", o.err)
+		}
+		return o.res
+	case <-time.After(60 * time.Second):
+		t.Fatal("Δ-stepping run did not terminate")
+		return nil
+	}
+}
+
+func runAndVerify(t *testing.T, g *graph.Graph, source int, opts Options) *Result {
+	t.Helper()
+	res := mustRun(t, g, source, opts)
+	want := seq.Dijkstra(g, source)
+	if !seq.Equal(res.Dist, want.Dist) {
+		i := seq.FirstMismatch(res.Dist, want.Dist)
+		t.Fatalf("distance mismatch at vertex %d: deltastep=%v dijkstra=%v", i, res.Dist[i], want.Dist[i])
+	}
+	return res
+}
+
+func TestDiamond(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 0, To: 2, Weight: 4},
+		{From: 1, To: 2, Weight: 2}, {From: 1, To: 3, Weight: 6},
+		{From: 2, To: 3, Weight: 3},
+	})
+	res := runAndVerify(t, g, 0, Options{})
+	if res.Stats.Supersteps == 0 {
+		t.Error("no supersteps counted")
+	}
+	if res.Stats.Relaxations == 0 {
+		t.Error("no relaxations counted")
+	}
+}
+
+func TestFixtures(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":      gen.Path(150),
+		"star":      gen.Star(150),
+		"cycle":     gen.Cycle(80),
+		"grid":      gen.Grid(10, 10, gen.Config{Seed: 1}),
+		"complete":  gen.Complete(25, gen.Config{Seed: 2}),
+		"singleton": graph.MustBuild(1, nil),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			runAndVerify(t, g, 0, Options{Params: DefaultParams()})
+		})
+	}
+}
+
+func TestUnreachable(t *testing.T) {
+	g := graph.MustBuild(5, []graph.Edge{{From: 0, To: 1, Weight: 2}})
+	res := runAndVerify(t, g, 0, Options{})
+	for v := 2; v < 5; v++ {
+		if res.Dist[v] != seq.Inf {
+			t.Errorf("vertex %d should be unreachable", v)
+		}
+	}
+}
+
+func TestRandomGraphMatchesOracle(t *testing.T) {
+	g := gen.Uniform(2000, 16000, gen.Config{Seed: 3})
+	runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(8), Params: DefaultParams()})
+}
+
+func TestRMATMatchesOracle(t *testing.T) {
+	g := gen.RMAT(11, 8, gen.DefaultRMAT(), gen.Config{Seed: 4})
+	runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(8), Params: DefaultParams()})
+}
+
+func TestWithLatency(t *testing.T) {
+	g := gen.Uniform(1200, 9600, gen.Config{Seed: 5})
+	opts := Options{
+		Topo:    netsim.Topology{Nodes: 2, ProcsPerNode: 2, PEsPerProc: 3},
+		Latency: netsim.LatencyModel{IntraProcess: time.Microsecond, IntraNode: 3 * time.Microsecond, InterNode: 10 * time.Microsecond},
+		Params:  DefaultParams(),
+	}
+	runAndVerify(t, g, 0, opts)
+}
+
+func TestExplicitDeltaValues(t *testing.T) {
+	g := gen.Uniform(800, 6400, gen.Config{Seed: 6, MaxWeight: 100})
+	for _, delta := range []float64{1, 5, 25, 100, 1000} {
+		p := DefaultParams()
+		p.Delta = delta
+		runAndVerify(t, g, 0, Options{Params: p})
+	}
+}
+
+func TestHybridSwitchFiresOnGrid(t *testing.T) {
+	// A long-tailed graph: settled-per-epoch rises then falls, so the
+	// RIKEN heuristic must fire and BF rounds must finish the tail.
+	g := gen.Grid(40, 40, gen.Config{Seed: 7})
+	p := DefaultParams()
+	res := runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(4), Params: p})
+	if !res.Stats.SwitchedToBF {
+		t.Error("hybrid switch never fired on a high-diameter grid")
+	}
+	if res.Stats.BFRounds == 0 {
+		t.Error("no BF rounds despite switch")
+	}
+}
+
+func TestHybridDisabled(t *testing.T) {
+	g := gen.Grid(20, 20, gen.Config{Seed: 8})
+	p := DefaultParams()
+	p.Hybrid = false
+	res := runAndVerify(t, g, 0, Options{Params: p})
+	if res.Stats.SwitchedToBF || res.Stats.BFRounds != 0 {
+		t.Error("BF used despite Hybrid=false")
+	}
+}
+
+func TestHybridReducesSupersteps(t *testing.T) {
+	g := gen.Grid(30, 30, gen.Config{Seed: 9})
+	pOn := DefaultParams()
+	pOff := DefaultParams()
+	pOff.Hybrid = false
+	on := runAndVerify(t, g, 0, Options{Params: pOn})
+	off := runAndVerify(t, g, 0, Options{Params: pOff})
+	if on.Stats.SwitchedToBF && on.Stats.Supersteps >= off.Stats.Supersteps {
+		t.Errorf("hybrid supersteps %d not below pure Δ-stepping %d",
+			on.Stats.Supersteps, off.Stats.Supersteps)
+	}
+}
+
+func TestSettledPerEpochSumsToReachable(t *testing.T) {
+	g := gen.Uniform(1000, 8000, gen.Config{Seed: 10})
+	p := DefaultParams()
+	p.Hybrid = false // BF mode stops attributing settles to epochs
+	res := runAndVerify(t, g, 0, Options{Params: p})
+	var settled int64
+	for _, s := range res.Stats.SettledPerEpoch {
+		settled += s
+	}
+	reach, _ := g.ReachableFrom(0)
+	if settled != int64(reach) {
+		t.Errorf("settled sum %d != reachable %d", settled, reach)
+	}
+}
+
+func TestAllTramModes(t *testing.T) {
+	g := gen.Uniform(600, 4800, gen.Config{Seed: 11})
+	for _, mode := range []tram.Mode{tram.WW, tram.WP, tram.PW, tram.PP} {
+		mode := mode
+		t.Run(mode.String(), func(t *testing.T) {
+			p := DefaultParams()
+			p.TramMode = mode
+			runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(6), Params: p})
+		})
+	}
+}
+
+func TestNonZeroSource(t *testing.T) {
+	g := gen.Grid(12, 12, gen.Config{Seed: 12})
+	runAndVerify(t, g, 77, Options{})
+}
+
+func TestSinglePE(t *testing.T) {
+	g := gen.Uniform(400, 3200, gen.Config{Seed: 13})
+	runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(1)})
+}
+
+func TestHeuristicDelta(t *testing.T) {
+	g := gen.Uniform(100, 800, gen.Config{Seed: 14, MaxWeight: 64})
+	d := HeuristicDelta(g)
+	if d <= 0 {
+		t.Errorf("HeuristicDelta = %v", d)
+	}
+	empty := graph.MustBuild(5, nil)
+	if HeuristicDelta(empty) != 1 {
+		t.Error("edgeless graph delta should clamp to 1")
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Run(g, -1, Options{}); err == nil {
+		t.Error("negative source accepted")
+	}
+	if _, err := Run(g, 9, Options{}); err == nil {
+		t.Error("out-of-range source accepted")
+	}
+	if _, err := Run(g, 0, Options{Topo: netsim.Topology{Nodes: 0, ProcsPerNode: 1, PEsPerProc: 1}}); err == nil {
+		t.Error("bad topology accepted")
+	}
+}
+
+// Property: Δ-stepping matches Dijkstra over random graphs, deltas and PE
+// counts.
+func TestQuickMatchesDijkstra(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed uint64, nRaw, srcRaw, pesRaw, deltaRaw uint8) bool {
+		n := int(nRaw%150) + 2
+		m := n * 5
+		src := int(srcRaw) % n
+		pes := int(pesRaw%5) + 1
+		g := gen.Uniform(n, m, gen.Config{Seed: seed, MaxWeight: 80})
+		p := DefaultParams()
+		p.Delta = float64(deltaRaw%50) + 1
+		res, err := Run(g, src, Options{Topo: netsim.SingleNode(pes), Params: p})
+		if err != nil {
+			return false
+		}
+		return seq.Equal(res.Dist, seq.Dijkstra(g, src).Dist)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDeltaSteppingUniform(b *testing.B) {
+	g := gen.Uniform(1<<12, 16<<12, gen.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(g, 0, Options{Topo: netsim.SingleNode(8), Params: DefaultParams()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,137 @@
+package distctrl
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/netsim"
+	"acic/internal/seq"
+	"acic/internal/tram"
+)
+
+func runAndVerify(t *testing.T, g *graph.Graph, source int, opts Options) *Result {
+	t.Helper()
+	type outcome struct {
+		res *Result
+		err error
+	}
+	ch := make(chan outcome, 1)
+	go func() {
+		res, err := Run(g, source, opts)
+		ch <- outcome{res, err}
+	}()
+	select {
+	case o := <-ch:
+		if o.err != nil {
+			t.Fatalf("Run failed: %v", o.err)
+		}
+		want := seq.Dijkstra(g, source)
+		if !seq.Equal(o.res.Dist, want.Dist) {
+			i := seq.FirstMismatch(o.res.Dist, want.Dist)
+			t.Fatalf("mismatch at vertex %d: distctrl=%v dijkstra=%v", i, o.res.Dist[i], want.Dist[i])
+		}
+		return o.res
+	case <-time.After(60 * time.Second):
+		t.Fatal("distributed control run did not terminate")
+		return nil
+	}
+}
+
+func TestDiamond(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 0, To: 2, Weight: 4},
+		{From: 1, To: 2, Weight: 2}, {From: 1, To: 3, Weight: 6},
+		{From: 2, To: 3, Weight: 3},
+	})
+	res := runAndVerify(t, g, 0, Options{})
+	if res.Stats.UpdatesCreated == 0 {
+		t.Error("no updates counted")
+	}
+	if res.Stats.UpdatesCreated != res.Stats.UpdatesProcessed {
+		t.Errorf("created %d != processed %d", res.Stats.UpdatesCreated, res.Stats.UpdatesProcessed)
+	}
+}
+
+func TestFixturesAndGraphTypes(t *testing.T) {
+	cases := map[string]*graph.Graph{
+		"path":        gen.Path(150),
+		"star":        gen.Star(150),
+		"grid":        gen.Grid(10, 10, gen.Config{Seed: 1}),
+		"uniform":     gen.Uniform(1200, 9600, gen.Config{Seed: 2}),
+		"rmat":        gen.RMAT(10, 8, gen.DefaultRMAT(), gen.Config{Seed: 3}),
+		"unreachable": graph.MustBuild(6, []graph.Edge{{From: 0, To: 1, Weight: 1}}),
+	}
+	for name, g := range cases {
+		g := g
+		t.Run(name, func(t *testing.T) {
+			runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(6), Params: DefaultParams()})
+		})
+	}
+}
+
+func TestWithLatency(t *testing.T) {
+	g := gen.Uniform(800, 6400, gen.Config{Seed: 4})
+	opts := Options{
+		Topo:    netsim.Topology{Nodes: 2, ProcsPerNode: 2, PEsPerProc: 2},
+		Latency: netsim.LatencyModel{IntraProcess: time.Microsecond, IntraNode: 3 * time.Microsecond, InterNode: 8 * time.Microsecond},
+		Params:  DefaultParams(),
+	}
+	runAndVerify(t, g, 0, opts)
+}
+
+func TestTinyBuffersForceIdleFlush(t *testing.T) {
+	// Capacity 1 sends every update immediately; the tail then exercises
+	// the idle-triggered flush path.
+	g := gen.Path(60)
+	p := DefaultParams()
+	p.TramCapacity = 1
+	runAndVerify(t, g, 0, Options{Params: p})
+}
+
+func TestLargeBuffersStillDrain(t *testing.T) {
+	// Buffers far larger than the workload can only drain via idle
+	// flushes; termination proves they do.
+	g := gen.Grid(8, 8, gen.Config{Seed: 5})
+	p := DefaultParams()
+	p.TramCapacity = 1 << 16
+	runAndVerify(t, g, 0, Options{Params: p})
+}
+
+func TestModes(t *testing.T) {
+	g := gen.Uniform(500, 4000, gen.Config{Seed: 6})
+	for _, mode := range []tram.Mode{tram.WW, tram.WP, tram.PW, tram.PP} {
+		p := DefaultParams()
+		p.TramMode = mode
+		runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(4), Params: p})
+	}
+}
+
+func TestValidation(t *testing.T) {
+	g := gen.Path(5)
+	if _, err := Run(g, 99, Options{}); err == nil {
+		t.Error("bad source accepted")
+	}
+}
+
+func TestQuickMatchesDijkstra(t *testing.T) {
+	if testing.Short() {
+		t.Skip("short mode")
+	}
+	f := func(seed uint64, nRaw, srcRaw, pesRaw uint8) bool {
+		n := int(nRaw%120) + 2
+		src := int(srcRaw) % n
+		pes := int(pesRaw%5) + 1
+		g := gen.Uniform(n, n*5, gen.Config{Seed: seed, MaxWeight: 60})
+		res, err := Run(g, src, Options{Topo: netsim.SingleNode(pes), Params: DefaultParams()})
+		if err != nil {
+			return false
+		}
+		return seq.Equal(res.Dist, seq.Dijkstra(g, src).Dist)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 20}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,335 @@
+// Package histogram implements the update histograms at the heart of ACIC
+// (§II-B of the paper) and the threshold computation of Algorithm 1.
+//
+// Each PE keeps a local Histogram counting its *active* updates — updates
+// created but not yet processed — bucketed by distance value. The bucket of
+// an update with distance d is
+//
+//	bucket(d) = floor(d / width)
+//
+// where the paper fixes width = log(|V|) and uses 512 buckets (Fig. 1).
+// Increments happen on the creating PE and decrements on the processing PE,
+// so an individual local histogram may hold negative bucket counts; only the
+// global sum across all PEs is meaningful, which is why the reduction sums
+// raw signed counters rather than clamping.
+//
+// The root PE combines local histograms with Merge and derives the tram and
+// pq thresholds with Thresholds (Algorithm 1). A threshold is a bucket
+// index: the smallest bucket such that the cumulative count of active
+// updates at or below it reaches a caller-provided fraction p of all active
+// updates.
+package histogram
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// DefaultBuckets is the bucket count used throughout the paper (Fig. 1).
+const DefaultBuckets = 512
+
+// Histogram is a fixed-size array of signed bucket counters plus the
+// created/processed counters that ride along with every reduction (§II-D).
+// The zero value is not usable; construct with New.
+type Histogram struct {
+	width   float64
+	buckets []int64
+
+	// Created and Processed mirror the per-PE "updates created locally" and
+	// "updates processed locally" counters reduced alongside the histogram
+	// for quiescence detection.
+	Created   int64
+	Processed int64
+}
+
+// Width returns the bucket width.
+func (h *Histogram) Width() float64 { return h.width }
+
+// PaperWidth returns the paper's bucket width log(|V|) (natural log),
+// clamped below at 1 so tiny test graphs still bucket sensibly.
+func PaperWidth(numVertices int) float64 {
+	w := math.Log(float64(numVertices))
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// New returns a Histogram with the given number of buckets of the given
+// width. It panics on a non-positive bucket count or width.
+func New(bucketCount int, width float64) *Histogram {
+	if bucketCount <= 0 {
+		panic("histogram: non-positive bucket count")
+	}
+	if width <= 0 || math.IsNaN(width) || math.IsInf(width, 0) {
+		panic("histogram: invalid bucket width")
+	}
+	return &Histogram{width: width, buckets: make([]int64, bucketCount)}
+}
+
+// NumBuckets returns the number of buckets.
+func (h *Histogram) NumBuckets() int { return len(h.buckets) }
+
+// BucketOf maps a distance to its bucket index, clamping to the valid range.
+// Distances beyond the last bucket accumulate in the last bucket, matching
+// the fixed 512-bucket layout of the paper.
+func (h *Histogram) BucketOf(d float64) int {
+	if d <= 0 || math.IsNaN(d) {
+		return 0
+	}
+	b := int(d / h.width)
+	if b >= len(h.buckets) {
+		return len(h.buckets) - 1
+	}
+	return b
+}
+
+// AddCreated records the creation of an update with distance d: the bucket
+// is incremented and the created counter advances (§II-B).
+func (h *Histogram) AddCreated(d float64) {
+	h.buckets[h.BucketOf(d)]++
+	h.Created++
+}
+
+// AddProcessed records that the processing of an update with distance d
+// completed (it was rejected, superseded, or all onward updates were
+// created): the bucket is decremented and the processed counter advances.
+func (h *Histogram) AddProcessed(d float64) {
+	h.buckets[h.BucketOf(d)]--
+	h.Processed++
+}
+
+// Bucket returns the raw signed count of bucket i.
+func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
+
+// Active returns Created - Processed, the number of updates this histogram
+// believes are in flight. Only meaningful on a merged global histogram.
+func (h *Histogram) Active() int64 { return h.Created - h.Processed }
+
+// Sum returns the sum of all bucket counts. On a merged global histogram
+// this equals Active.
+func (h *Histogram) Sum() int64 {
+	var s int64
+	for _, b := range h.buckets {
+		s += b
+	}
+	return s
+}
+
+// Snapshot returns a copy of the histogram for contribution to a reduction,
+// then clears nothing: contributions are cumulative state, and the merge at
+// the root uses the latest snapshot from each PE.
+func (h *Histogram) Snapshot() *Histogram {
+	c := &Histogram{
+		width:     h.width,
+		buckets:   append([]int64(nil), h.buckets...),
+		Created:   h.Created,
+		Processed: h.Processed,
+	}
+	return c
+}
+
+// Merge adds other into h bucket-wise and accumulates the counters. It
+// panics if shapes differ.
+func (h *Histogram) Merge(other *Histogram) {
+	if len(h.buckets) != len(other.buckets) {
+		panic(fmt.Sprintf("histogram: merging %d buckets into %d", len(other.buckets), len(h.buckets)))
+	}
+	if h.width != other.width {
+		panic("histogram: merging histograms with different widths")
+	}
+	for i, b := range other.buckets {
+		h.buckets[i] += b
+	}
+	h.Created += other.Created
+	h.Processed += other.Processed
+}
+
+// Reset zeroes all buckets and counters.
+func (h *Histogram) Reset() {
+	for i := range h.buckets {
+		h.buckets[i] = 0
+	}
+	h.Created = 0
+	h.Processed = 0
+}
+
+// LowestNonEmpty returns the index of the lowest bucket with a positive
+// count, or -1 if none. Fig. 1's "lowest bucket number with remaining
+// updates" is this value on the merged histogram.
+func (h *Histogram) LowestNonEmpty() int {
+	for i, b := range h.buckets {
+		if b > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// HighestNonEmpty returns the index of the highest bucket with a positive
+// count, or -1 if none.
+func (h *Histogram) HighestNonEmpty() int {
+	for i := len(h.buckets) - 1; i >= 0; i-- {
+		if h.buckets[i] > 0 {
+			return i
+		}
+	}
+	return -1
+}
+
+// PercentileBucket implements the bucket(p) routine of Algorithm 1: walk the
+// buckets from lowest to highest accumulating counts and return the first
+// bucket where the running sum reaches fraction p (in (0,1]) of total.
+// Negative bucket counts (possible in merged histograms mid-flight due to
+// remote decrements racing local increments) are treated as zero during the
+// walk, and total is the sum of those clamped counts.
+//
+// If the histogram is empty, the last bucket index is returned so that every
+// pending update clears the threshold and the algorithm can drain.
+func (h *Histogram) PercentileBucket(p float64) int {
+	if p <= 0 || p > 1 || math.IsNaN(p) {
+		panic(fmt.Sprintf("histogram: percentile fraction %v out of (0,1]", p))
+	}
+	var total int64
+	for _, b := range h.buckets {
+		if b > 0 {
+			total += b
+		}
+	}
+	if total == 0 {
+		return len(h.buckets) - 1
+	}
+	target := p * float64(total)
+	var running int64
+	for i, b := range h.buckets {
+		if b > 0 {
+			running += b
+		}
+		if float64(running) >= target {
+			return i
+		}
+	}
+	return len(h.buckets) - 1
+}
+
+// Thresholds holds the two bucket thresholds broadcast after a reduction.
+type Thresholds struct {
+	Tram int // t_tram: updates with bucket > Tram stay in tram_hold
+	PQ   int // t_pq: accepted updates with bucket > PQ stay in pq_hold
+}
+
+// Params configures the root's threshold policy (§III).
+type Params struct {
+	// PTram and PPQ are the user-provided percentile fractions p_tram and
+	// p_pq in (0,1].
+	PTram float64
+	PPQ   float64
+	// LowWatermarkPerPE is the "low parallelism" limit: when the number of
+	// active updates is at most LowWatermarkPerPE × numPEs, both thresholds
+	// are raised to the highest bucket so every update flows freely. The
+	// paper fixes this at 100 (§III-a).
+	LowWatermarkPerPE int64
+}
+
+// DefaultParams returns the optimal parameters found in §IV-E:
+// p_tram = 0.999 and p_pq = 0.05, with the paper's low watermark of 100
+// active updates per PE.
+func DefaultParams() Params {
+	return Params{PTram: 0.999, PPQ: 0.05, LowWatermarkPerPE: 100}
+}
+
+// ComputeThresholds implements the root's side of Algorithm 1 minus the
+// termination check (which belongs to the quiescence machinery): given the
+// merged global histogram, the PE count and the policy parameters, it
+// returns the thresholds to broadcast.
+func ComputeThresholds(global *Histogram, numPEs int, p Params) Thresholds {
+	var sum int64
+	for i := 0; i < global.NumBuckets(); i++ {
+		if b := global.Bucket(i); b > 0 {
+			sum += b
+		}
+	}
+	if sum <= p.LowWatermarkPerPE*int64(numPEs) {
+		// Low parallelism: release everything (§III-a; prose form of
+		// Algorithm 1's low-count branch).
+		last := global.NumBuckets() - 1
+		return Thresholds{Tram: last, PQ: last}
+	}
+	return Thresholds{
+		Tram: global.PercentileBucket(p.PTram),
+		PQ:   global.PercentileBucket(p.PPQ),
+	}
+}
+
+// ComputeSmoothThresholds implements the refinement sketched in the
+// paper's future-work section (§V): instead of the two-tier rule — "all
+// buckets when active ≤ watermark, fixed percentile otherwise" — the
+// threshold percentile becomes a continuous function of the whole
+// histogram's population. The effective fraction interpolates between the
+// configured percentile (heavily loaded) and 1.0 (drained):
+//
+//	p_eff = min(1, p + (1-p) · (watermark·numPEs) / active)
+//
+// so as the machine approaches the low-parallelism tail the thresholds
+// open smoothly rather than snapping, and under heavy load they converge
+// to the paper's fixed percentiles. The ablation benchmark contrasts this
+// policy with the paper's two-tier rule.
+func ComputeSmoothThresholds(global *Histogram, numPEs int, p Params) Thresholds {
+	var active int64
+	for i := 0; i < global.NumBuckets(); i++ {
+		if b := global.Bucket(i); b > 0 {
+			active += b
+		}
+	}
+	last := global.NumBuckets() - 1
+	if active == 0 {
+		return Thresholds{Tram: last, PQ: last}
+	}
+	boost := float64(p.LowWatermarkPerPE*int64(numPEs)) / float64(active)
+	bucketFor := func(base float64) int {
+		v := base + (1-base)*boost
+		if v >= 1 {
+			// Fully open: future updates of any distance flow too, exactly
+			// like the two-tier rule's low-parallelism branch.
+			return last
+		}
+		return global.PercentileBucket(v)
+	}
+	return Thresholds{Tram: bucketFor(p.PTram), PQ: bucketFor(p.PPQ)}
+}
+
+// String renders a compact sparkline of the histogram for logs and the
+// Fig. 1 reproduction.
+func (h *Histogram) String() string {
+	var max int64
+	for _, b := range h.buckets {
+		if b > max {
+			max = b
+		}
+	}
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "histogram[%d buckets, width %.2f, active %d]", len(h.buckets), h.width, h.Sum())
+	if max == 0 {
+		return sb.String()
+	}
+	levels := []rune(" ▁▂▃▄▅▆▇█")
+	sb.WriteString(" ")
+	// Downsample to at most 64 columns.
+	cols := 64
+	if len(h.buckets) < cols {
+		cols = len(h.buckets)
+	}
+	per := (len(h.buckets) + cols - 1) / cols
+	for c := 0; c < cols; c++ {
+		var colMax int64
+		for i := c * per; i < (c+1)*per && i < len(h.buckets); i++ {
+			if h.buckets[i] > colMax {
+				colMax = h.buckets[i]
+			}
+		}
+		idx := int(colMax * int64(len(levels)-1) / max)
+		sb.WriteRune(levels[idx])
+	}
+	return sb.String()
+}

@@ -1,0 +1,348 @@
+// Package netsim simulates the communication fabric of the clusters the
+// paper evaluates on (Delta at NCSA and Frontier at ORNL, §IV-C).
+//
+// The paper's experiments need a machine with distinguishable communication
+// tiers: PEs within a process share memory, processes within a node talk
+// over shared memory or loopback, and nodes talk over the interconnect.
+// ACIC's advantage over bulk-synchronous Δ-stepping comes precisely from
+// hiding the latency of the slowest tier, so the simulation reproduces the
+// tiers as injected delivery delays rather than pretending every goroutine
+// is adjacent.
+//
+// A Topology describes nodes × processes-per-node × PEs-per-process exactly
+// as the paper configures its runs (8 processes/node, 6 PEs/process). A
+// Network owns a time-ordered delay queue: senders enqueue a message with
+// the latency implied by the (src, dst) tier plus a per-item serialization
+// cost, and a dispatcher goroutine delivers each message to the
+// caller-provided delivery function when its deadline arrives. Messages
+// between two PEs are delivered in send order (FIFO per source-destination
+// pair), matching the in-order delivery Charm++ guarantees between a pair
+// of PEs on one channel.
+package netsim
+
+import (
+	"container/heap"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Topology is the machine shape: Nodes × ProcsPerNode × PEsPerProc.
+// PE ids are dense in [0, TotalPEs()) with PEs of one process contiguous
+// and processes of one node contiguous, matching +ppn-style launches.
+type Topology struct {
+	Nodes        int
+	ProcsPerNode int
+	PEsPerProc   int
+}
+
+// SingleNode returns a one-node topology with one process of numPEs PEs —
+// the pure shared-memory configuration used for the §IV-E parameter sweeps.
+func SingleNode(numPEs int) Topology {
+	return Topology{Nodes: 1, ProcsPerNode: 1, PEsPerProc: numPEs}
+}
+
+// PaperNode returns the per-node shape used in §IV-C: 8 processes per node,
+// 6 worker PEs per process (the 48 cores minus communication/OS cores are
+// the workers).
+func PaperNode(nodes int) Topology {
+	return Topology{Nodes: nodes, ProcsPerNode: 8, PEsPerProc: 6}
+}
+
+// Validate returns an error if any dimension is non-positive.
+func (t Topology) Validate() error {
+	if t.Nodes <= 0 || t.ProcsPerNode <= 0 || t.PEsPerProc <= 0 {
+		return fmt.Errorf("netsim: invalid topology %+v", t)
+	}
+	return nil
+}
+
+// TotalPEs returns the number of PEs in the machine.
+func (t Topology) TotalPEs() int { return t.Nodes * t.ProcsPerNode * t.PEsPerProc }
+
+// TotalProcs returns the number of processes in the machine.
+func (t Topology) TotalProcs() int { return t.Nodes * t.ProcsPerNode }
+
+// ProcessOf returns the process id of a PE.
+func (t Topology) ProcessOf(pe int) int { return pe / t.PEsPerProc }
+
+// NodeOf returns the node id of a PE.
+func (t Topology) NodeOf(pe int) int { return pe / (t.PEsPerProc * t.ProcsPerNode) }
+
+// PEsOfProcess returns the half-open PE range [lo, hi) of process p.
+func (t Topology) PEsOfProcess(p int) (lo, hi int) {
+	return p * t.PEsPerProc, (p + 1) * t.PEsPerProc
+}
+
+// Tier classifies the communication distance between two PEs.
+type Tier uint8
+
+// Communication tiers, nearest first.
+const (
+	TierSelf Tier = iota // same PE
+	TierProcess
+	TierNode
+	TierMachine
+)
+
+// TierOf returns the tier between two PEs.
+func (t Topology) TierOf(src, dst int) Tier {
+	switch {
+	case src == dst:
+		return TierSelf
+	case t.ProcessOf(src) == t.ProcessOf(dst):
+		return TierProcess
+	case t.NodeOf(src) == t.NodeOf(dst):
+		return TierNode
+	default:
+		return TierMachine
+	}
+}
+
+// LatencyModel maps a tier and message size to a delivery delay.
+type LatencyModel struct {
+	// Base one-way latencies per tier.
+	Self, IntraProcess, IntraNode, InterNode time.Duration
+	// PerItem adds serialization cost proportional to message size (in
+	// items, e.g. updates in a tram batch). Aggregation amortizes the base
+	// latency but not this term — which is why Fig. 6's optimal buffer size
+	// shrinks as parallelism grows.
+	PerItem time.Duration
+}
+
+// DefaultLatency returns a model with tier ratios resembling a real
+// cluster (inter-node ≈ 25× intra-process) scaled down so full experiment
+// suites finish in seconds.
+func DefaultLatency() LatencyModel {
+	return LatencyModel{
+		Self:         0,
+		IntraProcess: 2 * time.Microsecond,
+		IntraNode:    10 * time.Microsecond,
+		InterNode:    50 * time.Microsecond,
+		PerItem:      20 * time.Nanosecond,
+	}
+}
+
+// ZeroLatency returns a model with no injected delay, for unit tests that
+// exercise only logical behaviour.
+func ZeroLatency() LatencyModel { return LatencyModel{} }
+
+// Delay returns the delivery delay for a message of size items over tier.
+func (m LatencyModel) Delay(tier Tier, size int) time.Duration {
+	var base time.Duration
+	switch tier {
+	case TierSelf:
+		base = m.Self
+	case TierProcess:
+		base = m.IntraProcess
+	case TierNode:
+		base = m.IntraNode
+	default:
+		base = m.InterNode
+	}
+	return base + time.Duration(size)*m.PerItem
+}
+
+// Stats aggregates network-level counters. Read with Network.Stats after
+// the run; fields are updated atomically.
+type Stats struct {
+	MessagesSent  int64 // individual Send calls
+	ItemsSent     int64 // sum of message sizes
+	BytesByTier   [4]int64
+	MaxQueueDepth int64
+	Dropped       int64 // messages discarded by an injected fault filter
+}
+
+// DropFilter decides whether to discard a message, for fault-injection
+// tests. It is consulted on every Send with the message's endpoints and
+// size; returning true drops the message silently — the failure mode of a
+// lossy fabric. Charm++ (and therefore ACIC) assumes reliable delivery;
+// the injection tests document what that assumption buys: a lost update
+// leaves the quiescence counters permanently unequal, so the algorithm
+// visibly hangs rather than silently producing wrong distances.
+type DropFilter func(src, dst, size int) bool
+
+// Network is the delay-queue message fabric.
+type Network struct {
+	topo    Topology
+	model   LatencyModel
+	deliver func(dst int, payload any)
+	drop    DropFilter
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	queue   deliveryHeap
+	seq     uint64 // tiebreak: preserves FIFO among equal deadlines
+	closed  bool
+	stats   Stats
+	started bool
+	done    chan struct{}
+}
+
+type delivery struct {
+	at      time.Time
+	seq     uint64
+	dst     int
+	payload any
+}
+
+type deliveryHeap []delivery
+
+func (h deliveryHeap) Len() int { return len(h) }
+func (h deliveryHeap) Less(i, j int) bool {
+	if !h[i].at.Equal(h[j].at) {
+		return h[i].at.Before(h[j].at)
+	}
+	return h[i].seq < h[j].seq
+}
+func (h deliveryHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
+func (h *deliveryHeap) Push(x any)    { *h = append(*h, x.(delivery)) }
+func (h *deliveryHeap) Pop() any      { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
+func (h deliveryHeap) peek() delivery { return h[0] }
+
+// NewNetwork creates a network over topo with the given latency model.
+// deliver is invoked from the dispatcher goroutine for every message at its
+// delivery time; it must be safe for concurrent use with senders and must
+// not block for long (it typically appends to an unbounded mailbox).
+// The returned Network is running; call Close when done.
+func NewNetwork(topo Topology, model LatencyModel, deliver func(dst int, payload any)) (*Network, error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if deliver == nil {
+		return nil, fmt.Errorf("netsim: nil deliver function")
+	}
+	n := &Network{
+		topo:    topo,
+		model:   model,
+		deliver: deliver,
+		done:    make(chan struct{}),
+	}
+	n.cond = sync.NewCond(&n.mu)
+	n.started = true
+	go n.dispatch()
+	return n, nil
+}
+
+// Topology returns the network's topology.
+func (n *Network) Topology() Topology { return n.topo }
+
+// SetDropFilter installs a fault-injection filter. Call before any Send;
+// the filter runs on sender goroutines and must be safe for concurrent
+// use. A nil filter (the default) delivers everything.
+func (n *Network) SetDropFilter(f DropFilter) {
+	n.mu.Lock()
+	n.drop = f
+	n.mu.Unlock()
+}
+
+// Model returns the latency model.
+func (n *Network) Model() LatencyModel { return n.model }
+
+// Send schedules payload for delivery to dst's mailbox after the delay
+// implied by the (src, dst) tier and size (in items). It is safe for
+// concurrent use. Sending on a closed network is a no-op.
+func (n *Network) Send(src, dst int, payload any, size int) {
+	tier := n.topo.TierOf(src, dst)
+	delay := n.model.Delay(tier, size)
+	atomic.AddInt64(&n.stats.MessagesSent, 1)
+	atomic.AddInt64(&n.stats.ItemsSent, int64(size))
+	atomic.AddInt64(&n.stats.BytesByTier[tier], int64(size))
+
+	n.mu.Lock()
+	if n.drop != nil && n.drop(src, dst, size) {
+		atomic.AddInt64(&n.stats.Dropped, 1)
+		n.mu.Unlock()
+		return
+	}
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.seq++
+	heap.Push(&n.queue, delivery{at: time.Now().Add(delay), seq: n.seq, dst: dst, payload: payload})
+	if d := int64(len(n.queue)); d > n.stats.MaxQueueDepth {
+		n.stats.MaxQueueDepth = d
+	}
+	n.cond.Signal()
+	n.mu.Unlock()
+}
+
+// dispatch delivers queued messages at their deadlines.
+func (n *Network) dispatch() {
+	defer close(n.done)
+	n.mu.Lock()
+	for {
+		for len(n.queue) == 0 && !n.closed {
+			n.cond.Wait()
+		}
+		if n.closed && len(n.queue) == 0 {
+			n.mu.Unlock()
+			return
+		}
+		next := n.queue.peek()
+		now := time.Now()
+		if next.at.After(now) {
+			// Sleep outside the lock so senders can enqueue; re-check the
+			// head afterwards because an earlier message may have arrived.
+			wait := next.at.Sub(now)
+			n.mu.Unlock()
+			if wait > time.Millisecond {
+				// Bounded nap: wake early if an earlier deadline arrives.
+				time.Sleep(time.Millisecond)
+			} else {
+				time.Sleep(wait)
+			}
+			n.mu.Lock()
+			continue
+		}
+		d := heap.Pop(&n.queue).(delivery)
+		n.mu.Unlock()
+		n.deliver(d.dst, d.payload)
+		n.mu.Lock()
+	}
+}
+
+// Close stops accepting new messages, delivers everything still queued, and
+// waits for the dispatcher to exit.
+func (n *Network) Close() {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		<-n.done
+		return
+	}
+	n.closed = true
+	n.cond.Signal()
+	n.mu.Unlock()
+	<-n.done
+}
+
+// QueueLen reports how many messages are scheduled but not yet delivered.
+// The runtime's quiescence detector uses it to rule out in-flight messages.
+func (n *Network) QueueLen() int {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return len(n.queue)
+}
+
+// Stats returns a copy of the network counters. Call after Close, or accept
+// slightly stale values mid-run.
+func (n *Network) Stats() Stats {
+	n.mu.Lock()
+	depth := n.stats.MaxQueueDepth
+	n.mu.Unlock()
+	return Stats{
+		MessagesSent: atomic.LoadInt64(&n.stats.MessagesSent),
+		ItemsSent:    atomic.LoadInt64(&n.stats.ItemsSent),
+		BytesByTier: [4]int64{
+			atomic.LoadInt64(&n.stats.BytesByTier[0]),
+			atomic.LoadInt64(&n.stats.BytesByTier[1]),
+			atomic.LoadInt64(&n.stats.BytesByTier[2]),
+			atomic.LoadInt64(&n.stats.BytesByTier[3]),
+		},
+		MaxQueueDepth: depth,
+		Dropped:       atomic.LoadInt64(&n.stats.Dropped),
+	}
+}

@@ -1,0 +1,132 @@
+package partition
+
+import (
+	"testing"
+	"testing/quick"
+
+	"acic/internal/gen"
+)
+
+func TestChunkedOwnerRoundRobin(t *testing.T) {
+	// 100 vertices, 4 PEs, 5 chunks/PE → 20 chunks of 5.
+	p := NewChunked(100, 4, 5)
+	if p.ChunkSize() != 5 {
+		t.Fatalf("ChunkSize = %d, want 5", p.ChunkSize())
+	}
+	if p.Owner(0) != 0 || p.Owner(4) != 0 {
+		t.Error("first chunk should be PE 0")
+	}
+	if p.Owner(5) != 1 || p.Owner(19) != 3 {
+		t.Error("round robin assignment wrong")
+	}
+	if p.Owner(20) != 0 {
+		t.Error("fifth chunk should wrap to PE 0")
+	}
+}
+
+func TestChunkedSizeSumsToVertices(t *testing.T) {
+	for _, c := range []struct{ n, pes, cpp int }{
+		{100, 4, 5}, {103, 7, 3}, {5, 8, 2}, {1, 1, 1}, {64, 3, 4},
+	} {
+		p := NewChunked(c.n, c.pes, c.cpp)
+		total := 0
+		for pe := 0; pe < c.pes; pe++ {
+			total += p.Size(pe)
+		}
+		if total != c.n {
+			t.Errorf("n=%d pes=%d cpp=%d: sizes sum to %d", c.n, c.pes, c.cpp, total)
+		}
+	}
+}
+
+func TestChunkedLocalGlobalRoundTrip(t *testing.T) {
+	for _, c := range []struct{ n, pes, cpp int }{
+		{100, 4, 5}, {103, 7, 3}, {17, 4, 2}, {64, 3, 4},
+	} {
+		p := NewChunked(c.n, c.pes, c.cpp)
+		for v := int32(0); int(v) < c.n; v++ {
+			pe := p.Owner(v)
+			local := p.LocalIndex(v)
+			if local < 0 || local >= p.Size(pe) {
+				t.Fatalf("n=%d pes=%d cpp=%d: LocalIndex(%d)=%d outside store size %d",
+					c.n, c.pes, c.cpp, v, local, p.Size(pe))
+			}
+			if back := p.GlobalOf(pe, local); back != v {
+				t.Fatalf("GlobalOf(%d,%d) = %d, want %d", pe, local, back, v)
+			}
+		}
+	}
+}
+
+func TestChunkedReducesHubImbalance(t *testing.T) {
+	// The point of §V over-decomposition: on RMAT, chunked round-robin
+	// spreads hub neighborhoods better than plain blocks.
+	g := gen.RMAT(12, 8, gen.DefaultRMAT(), gen.Config{Seed: 3})
+	pes := 16
+	block := NewOneD(g.NumVertices(), pes)
+	chunked := NewChunked(g.NumVertices(), pes, 16)
+	edgesPer := func(owner func(int32) int) float64 {
+		counts := make([]int, pes)
+		for v := 0; v < g.NumVertices(); v++ {
+			counts[owner(int32(v))] += g.OutDegree(v)
+		}
+		max := 0
+		for _, c := range counts {
+			if c > max {
+				max = c
+			}
+		}
+		return float64(max) * float64(pes) / float64(g.NumEdges())
+	}
+	bi := edgesPer(block.Owner)
+	ci := edgesPer(chunked.Owner)
+	if ci >= bi {
+		t.Errorf("chunked imbalance %.2f not below block %.2f", ci, bi)
+	}
+}
+
+func TestChunkedPanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewChunked(10, 0, 1) },
+		func() { NewChunked(10, 2, 0) },
+		func() { NewChunked(-1, 2, 1) },
+		func() { NewChunked(10, 2, 2).Owner(10) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: Owner, LocalIndex and GlobalOf are mutually consistent for
+// arbitrary shapes.
+func TestQuickChunkedConsistent(t *testing.T) {
+	f := func(nRaw uint16, pesRaw, cppRaw uint8) bool {
+		n := int(nRaw % 3000)
+		pes := int(pesRaw%15) + 1
+		cpp := int(cppRaw%8) + 1
+		p := NewChunked(n, pes, cpp)
+		total := 0
+		for pe := 0; pe < pes; pe++ {
+			total += p.Size(pe)
+		}
+		if total != n {
+			return false
+		}
+		for v := 0; v < n; v++ {
+			pe := p.Owner(int32(v))
+			if p.GlobalOf(pe, p.LocalIndex(int32(v))) != int32(v) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,108 @@
+package pq
+
+// BucketQueue is a monotone bucket priority queue: keys are mapped to
+// integer buckets of fixed width and popped in bucket order, FIFO within a
+// bucket. It is the data structure underlying Δ-stepping's bucket array
+// (bucket width = Δ) and is also offered as an approximate pq for ACIC
+// ablations (within a bucket the order is insertion order, not key order).
+//
+// The queue is "monotone" in the sense that it tracks a cursor at the lowest
+// non-empty bucket; pushing below the cursor is permitted (label-correcting
+// algorithms re-insert improved vertices) and moves the cursor back.
+type BucketQueue struct {
+	width   float64
+	buckets [][]Item
+	cursor  int // index of the lowest possibly-non-empty bucket
+	n       int
+}
+
+var _ Queue = (*BucketQueue)(nil)
+
+// NewBucketQueue returns a bucket queue with the given bucket width.
+// Width must be positive.
+func NewBucketQueue(width float64) *BucketQueue {
+	if width <= 0 {
+		panic("pq: NewBucketQueue with non-positive width")
+	}
+	return &BucketQueue{width: width}
+}
+
+// Len reports the number of stored items.
+func (q *BucketQueue) Len() int { return q.n }
+
+// BucketOf returns the bucket index key maps to.
+func (q *BucketQueue) BucketOf(key float64) int {
+	if key <= 0 {
+		return 0
+	}
+	return int(key / q.width)
+}
+
+// Push inserts an item.
+func (q *BucketQueue) Push(it Item) {
+	b := q.BucketOf(it.Key)
+	for b >= len(q.buckets) {
+		q.buckets = append(q.buckets, nil)
+	}
+	q.buckets[b] = append(q.buckets[b], it)
+	if q.n == 0 || b < q.cursor {
+		q.cursor = b
+	}
+	q.n++
+}
+
+// Peek returns an item from the lowest non-empty bucket without removing it.
+func (q *BucketQueue) Peek() Item {
+	if q.n == 0 {
+		panic("pq: Peek on empty BucketQueue")
+	}
+	q.advance()
+	return q.buckets[q.cursor][0]
+}
+
+// Pop removes and returns an item from the lowest non-empty bucket (FIFO
+// within the bucket).
+func (q *BucketQueue) Pop() Item {
+	if q.n == 0 {
+		panic("pq: Pop on empty BucketQueue")
+	}
+	q.advance()
+	b := q.buckets[q.cursor]
+	it := b[0]
+	if len(b) == 1 {
+		// Drop the backing array so a long-gone bucket does not pin memory.
+		q.buckets[q.cursor] = nil
+	} else {
+		q.buckets[q.cursor] = b[1:]
+	}
+	q.n--
+	return it
+}
+
+// CurrentBucket returns the index of the lowest non-empty bucket, or -1 if
+// the queue is empty.
+func (q *BucketQueue) CurrentBucket() int {
+	if q.n == 0 {
+		return -1
+	}
+	q.advance()
+	return q.cursor
+}
+
+// DrainBucket removes and returns the full contents of bucket b, which may
+// be empty. Δ-stepping uses this to grab a whole bucket per phase.
+func (q *BucketQueue) DrainBucket(b int) []Item {
+	if b >= len(q.buckets) {
+		return nil
+	}
+	items := q.buckets[b]
+	q.buckets[b] = nil
+	q.n -= len(items)
+	return items
+}
+
+func (q *BucketQueue) advance() {
+	for q.cursor < len(q.buckets) && len(q.buckets[q.cursor]) == 0 {
+		q.cursor++
+	}
+}

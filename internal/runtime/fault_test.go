@@ -1,0 +1,96 @@
+package runtime
+
+// Fault-injection tests: the runtime (like Charm++) assumes reliable
+// message delivery. These tests document what that assumption buys — a
+// lost message leaves the sent/delivered counters permanently unequal, so
+// quiescence detection can never fire a false positive: message loss
+// manifests as a visible hang, never as silent wrong results.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acic/internal/netsim"
+)
+
+// relayApp forwards a counter around a two-PE ring n times, then idles.
+type relayApp struct {
+	NopControl
+	hops     *atomic.Int64
+	quiesced *atomic.Int64
+}
+
+func (h *relayApp) Deliver(pe *PE, msg any) {
+	if _, ok := msg.(Quiescence); ok {
+		h.quiesced.Add(1)
+		pe.Exit()
+		return
+	}
+	n := msg.(int)
+	h.hops.Add(1)
+	if n > 1 {
+		pe.Send(1-pe.Index(), n-1, 1)
+	}
+}
+
+func (h *relayApp) Idle(pe *PE) bool { return false }
+
+func TestDroppedMessageBlocksQuiescence(t *testing.T) {
+	var hops, quiesced atomic.Int64
+	cfg := Config{
+		Topo:           netsim.SingleNode(2),
+		Latency:        netsim.LatencyModel{IntraProcess: 100 * time.Microsecond},
+		QuiescencePoll: 200 * time.Microsecond,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop the 5th network message.
+	var count atomic.Int64
+	rt.Network().SetDropFilter(func(src, dst, size int) bool {
+		return count.Add(1) == 5
+	})
+	rt.Start(func(pe *PE) Handler { return &relayApp{hops: &hops, quiesced: &quiesced} })
+	rt.send(0, 0, envelope{kind: kindApp, payload: 20}, 1)
+
+	// The chain must stall at the dropped hop and quiescence must never
+	// fire: sent > delivered forever.
+	time.Sleep(50 * time.Millisecond)
+	if got := quiesced.Load(); got != 0 {
+		t.Errorf("quiescence fired %d times despite a lost message", got)
+	}
+	if got := hops.Load(); got >= 20 {
+		t.Errorf("chain completed (%d hops) despite the drop", got)
+	}
+	if d := rt.NetworkStats().Dropped; d != 1 {
+		t.Errorf("Dropped = %d, want 1", d)
+	}
+	rt.RequestExit()
+	rt.Wait()
+}
+
+func TestNoDropsQuiescesNormally(t *testing.T) {
+	// Control experiment: same setup, no filter → the chain finishes and
+	// quiescence fires exactly once.
+	var hops, quiesced atomic.Int64
+	cfg := Config{
+		Topo:           netsim.SingleNode(2),
+		Latency:        netsim.LatencyModel{IntraProcess: 50 * time.Microsecond},
+		QuiescencePoll: 200 * time.Microsecond,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start(func(pe *PE) Handler { return &relayApp{hops: &hops, quiesced: &quiesced} })
+	rt.send(0, 0, envelope{kind: kindApp, payload: 20}, 1)
+	waitOrFail(t, rt, 10*time.Second)
+	if hops.Load() != 20 {
+		t.Errorf("hops = %d, want 20", hops.Load())
+	}
+	if quiesced.Load() != 1 {
+		t.Errorf("quiescence fired %d times, want 1", quiesced.Load())
+	}
+}

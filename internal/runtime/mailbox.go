@@ -1,0 +1,93 @@
+package runtime
+
+import "sync"
+
+// mailbox is an unbounded MPSC queue feeding one PE's scheduler loop.
+//
+// Unboundedness matters: the netsim dispatcher goroutine delivers messages
+// for every PE, so a delivery must never block on a full buffer — one slow
+// PE would head-of-line-block the whole simulated network. Memory is bounded
+// in practice by the quiescence invariant (created == processed drains all
+// queues).
+type mailbox struct {
+	mu     sync.Mutex
+	cond   *sync.Cond
+	items  []any
+	head   int
+	closed bool
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+// push appends an item and wakes the consumer. Push on a closed mailbox is
+// dropped (the PE has already exited).
+func (m *mailbox) push(item any) {
+	m.mu.Lock()
+	if !m.closed {
+		m.items = append(m.items, item)
+		m.cond.Signal()
+	}
+	m.mu.Unlock()
+}
+
+// tryPop removes the oldest item without blocking. ok is false if empty.
+func (m *mailbox) tryPop() (item any, ok bool) {
+	m.mu.Lock()
+	item, ok = m.popLocked()
+	m.mu.Unlock()
+	return item, ok
+}
+
+// pop blocks until an item is available or the mailbox is closed.
+// ok is false only when closed and drained.
+func (m *mailbox) pop() (item any, ok bool) {
+	m.mu.Lock()
+	for {
+		if item, ok = m.popLocked(); ok {
+			m.mu.Unlock()
+			return item, true
+		}
+		if m.closed {
+			m.mu.Unlock()
+			return nil, false
+		}
+		m.cond.Wait()
+	}
+}
+
+func (m *mailbox) popLocked() (any, bool) {
+	if m.head >= len(m.items) {
+		return nil, false
+	}
+	item := m.items[m.head]
+	m.items[m.head] = nil // release for GC
+	m.head++
+	// Compact once the consumed prefix dominates, amortized O(1).
+	if m.head > 64 && m.head*2 >= len(m.items) {
+		n := copy(m.items, m.items[m.head:])
+		m.items = m.items[:n]
+		m.head = 0
+	}
+	return item, true
+}
+
+// len reports the number of queued items.
+func (m *mailbox) len() int {
+	m.mu.Lock()
+	n := len(m.items) - m.head
+	m.mu.Unlock()
+	return n
+}
+
+// close wakes the consumer and makes subsequent pops return ok=false once
+// drained.
+func (m *mailbox) close() {
+	m.mu.Lock()
+	m.closed = true
+	m.cond.Broadcast()
+	m.mu.Unlock()
+}

@@ -1,0 +1,151 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestMailboxFIFO(t *testing.T) {
+	m := newMailbox()
+	for i := 0; i < 100; i++ {
+		m.push(i)
+	}
+	if m.len() != 100 {
+		t.Fatalf("len = %d", m.len())
+	}
+	for i := 0; i < 100; i++ {
+		v, ok := m.tryPop()
+		if !ok || v.(int) != i {
+			t.Fatalf("pop %d: got %v ok=%v", i, v, ok)
+		}
+	}
+	if _, ok := m.tryPop(); ok {
+		t.Error("tryPop on empty returned ok")
+	}
+}
+
+func TestMailboxBlockingPop(t *testing.T) {
+	m := newMailbox()
+	done := make(chan any, 1)
+	go func() {
+		v, _ := m.pop()
+		done <- v
+	}()
+	select {
+	case <-done:
+		t.Fatal("pop returned before push")
+	case <-time.After(5 * time.Millisecond):
+	}
+	m.push("hello")
+	select {
+	case v := <-done:
+		if v != "hello" {
+			t.Fatalf("got %v", v)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("pop never woke")
+	}
+}
+
+func TestMailboxCloseWakesConsumer(t *testing.T) {
+	m := newMailbox()
+	done := make(chan bool, 1)
+	go func() {
+		_, ok := m.pop()
+		done <- ok
+	}()
+	time.Sleep(2 * time.Millisecond)
+	m.close()
+	select {
+	case ok := <-done:
+		if ok {
+			t.Error("pop on closed empty mailbox returned ok")
+		}
+	case <-time.After(time.Second):
+		t.Fatal("close did not wake consumer")
+	}
+}
+
+func TestMailboxDrainsBeforeCloseReturnsFalse(t *testing.T) {
+	m := newMailbox()
+	m.push(1)
+	m.push(2)
+	m.close()
+	if v, ok := m.pop(); !ok || v.(int) != 1 {
+		t.Fatal("first item lost after close")
+	}
+	if v, ok := m.pop(); !ok || v.(int) != 2 {
+		t.Fatal("second item lost after close")
+	}
+	if _, ok := m.pop(); ok {
+		t.Error("drained closed mailbox still returns items")
+	}
+}
+
+func TestMailboxPushAfterCloseDropped(t *testing.T) {
+	m := newMailbox()
+	m.close()
+	m.push(1)
+	if m.len() != 0 {
+		t.Error("push after close was stored")
+	}
+}
+
+func TestMailboxCompaction(t *testing.T) {
+	// Interleaved push/pop far past the compaction threshold must neither
+	// lose nor reorder items.
+	m := newMailbox()
+	next := 0
+	for i := 0; i < 10000; i++ {
+		m.push(i)
+		if i%2 == 1 {
+			v, ok := m.tryPop()
+			if !ok || v.(int) != next {
+				t.Fatalf("at %d: got %v, want %d", i, v, next)
+			}
+			next++
+		}
+	}
+	for {
+		v, ok := m.tryPop()
+		if !ok {
+			break
+		}
+		if v.(int) != next {
+			t.Fatalf("drain: got %v, want %d", v, next)
+		}
+		next++
+	}
+	if next != 10000 {
+		t.Fatalf("drained %d items, want 10000", next)
+	}
+}
+
+func TestMailboxConcurrentProducers(t *testing.T) {
+	m := newMailbox()
+	const producers, per = 8, 1000
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				m.push(p*per + i)
+			}
+		}(p)
+	}
+	got := make(map[int]bool)
+	for len(got) < producers*per {
+		v, ok := m.pop()
+		if !ok {
+			t.Fatal("mailbox closed unexpectedly")
+		}
+		iv := v.(int)
+		if got[iv] {
+			t.Fatalf("duplicate item %d", iv)
+		}
+		got[iv] = true
+	}
+	wg.Wait()
+}

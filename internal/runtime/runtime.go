@@ -1,0 +1,501 @@
+// Package runtime is a message-driven parallel runtime in the style of
+// Charm++, the substrate the paper's implementation runs on (§I, §II).
+//
+// The runtime provides exactly the services ACIC consumes:
+//
+//   - An array of processing elements (PEs), each a goroutine with an
+//     unbounded mailbox, executing message handlers run-to-completion.
+//   - Message sends routed through a simulated cluster network
+//     (internal/netsim), so inter-process and inter-node messages cost more
+//     than intra-process ones, as on the paper's Delta and Frontier runs.
+//   - Idle triggers: when a PE's mailbox is empty the runtime repeatedly
+//     invokes the handler's Idle method, which is how ACIC drains its
+//     min-priority queue "when a PE becomes idle" (§II-C).
+//   - Asynchronous tree reductions and broadcasts that execute concurrently
+//     with application work, the paper's continuous introspection loop.
+//     Reductions combine per-PE contributions up a binary tree to PE 0;
+//     broadcasts flow down the same tree. Both travel as ordinary messages
+//     through the simulated network so their overhead is measurable
+//     (Fig. 3).
+//   - Runtime-level quiescence detection (after Sinha, Kale and Ramkumar)
+//     for applications that do not roll their own, such as the
+//     distributed-control baseline. ACIC itself detects quiescence through
+//     its reduction counters because tram batches are application messages
+//     the runtime cannot interpret — mirroring the paper's §II-D argument.
+package runtime
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"acic/internal/netsim"
+	"acic/internal/trace"
+)
+
+// Handler is the application logic hosted on one PE. All methods are called
+// from that PE's goroutine only, so handler state needs no locking.
+type Handler interface {
+	// Deliver processes one application message to completion.
+	Deliver(pe *PE, msg any)
+	// Idle is invoked when the mailbox is empty. It should perform one unit
+	// of background work (e.g. pop one pq entry) and return true, or return
+	// false if there is nothing to do, letting the PE block until the next
+	// message.
+	Idle(pe *PE) bool
+	// OnBroadcast delivers a broadcast payload originated at PE 0.
+	OnBroadcast(pe *PE, epoch int64, payload any)
+	// OnReduction delivers a completed reduction's combined value. It is
+	// invoked on PE 0 only.
+	OnReduction(pe *PE, epoch int64, value any)
+}
+
+// NopControl provides no-op OnBroadcast/OnReduction methods for handlers
+// that do not use the introspection machinery.
+type NopControl struct{}
+
+// OnBroadcast implements Handler.
+func (NopControl) OnBroadcast(*PE, int64, any) {}
+
+// OnReduction implements Handler.
+func (NopControl) OnReduction(*PE, int64, any) {}
+
+// Quiescence is delivered to PE 0's Deliver when the runtime-level detector
+// (Config.QuiescencePoll > 0) observes a quiescent state.
+type Quiescence struct{}
+
+// Config parameterizes a Runtime.
+type Config struct {
+	// Topo is the simulated machine shape. Required.
+	Topo netsim.Topology
+	// Latency is the network latency model.
+	Latency netsim.LatencyModel
+	// Combine merges two reduction contributions. Required if any handler
+	// calls Contribute.
+	Combine func(a, b any) any
+	// ControlMsgSize is the size, in items, attributed to reduction and
+	// broadcast messages for latency purposes. Defaults to 16 (a histogram
+	// snapshot is small next to a tram batch but not free).
+	ControlMsgSize int
+	// QuiescencePoll enables the runtime-level quiescence detector with the
+	// given poll interval; zero disables it. On detection a Quiescence
+	// message is delivered to PE 0.
+	QuiescencePoll time.Duration
+	// Trace, when non-nil, records per-PE scheduling events (deliveries,
+	// idle work, blocking, reductions, broadcasts, compute sleeps). It
+	// must have been created for at least Topo.TotalPEs() PEs.
+	Trace *trace.Recorder
+}
+
+func (c Config) controlMsgSize() int {
+	if c.ControlMsgSize <= 0 {
+		return 16
+	}
+	return c.ControlMsgSize
+}
+
+// Runtime hosts the PEs and the simulated network.
+type Runtime struct {
+	cfg Config
+	net *netsim.Network
+	pes []*PE
+
+	sent      atomic.Int64 // messages sent (all kinds)
+	delivered atomic.Int64 // messages fully processed (all kinds)
+	idlePEs   atomic.Int64 // PEs currently blocked on an empty mailbox
+
+	stopFlag atomic.Bool
+	stopOnce sync.Once
+	done     chan struct{} // closed when all PE goroutines have exited
+	wg       sync.WaitGroup
+	qdStop   chan struct{}
+}
+
+// PE is one processing element. Handlers receive their PE and may call its
+// methods from the PE goroutine.
+type PE struct {
+	rt      *Runtime
+	index   int
+	mbox    *mailbox
+	handler Handler
+
+	reductions map[int64]*redState
+
+	deliveredApp int64 // app messages processed; Fig. 3's "work methods"
+
+	// workDebt accumulates simulated compute time charged via Work. The
+	// scheduler pays it down with real sleeps, so an overloaded PE's
+	// mailbox backs up exactly as it would on a machine with one core per
+	// PE — even when the host has fewer cores than the simulation has PEs.
+	workDebt time.Duration
+}
+
+// workSleepThreshold batches Work debt into sleeps long enough for the OS
+// timer to honor; finer-grained debts accumulate until they matter.
+const workSleepThreshold = 200 * time.Microsecond
+
+type redState struct {
+	got   int
+	value any
+	has   bool
+}
+
+// Message envelope kinds.
+type envKind uint8
+
+const (
+	kindApp envKind = iota
+	kindReducePartial
+	kindReduceDone
+	kindBroadcast
+	kindQuiesce
+)
+
+type envelope struct {
+	kind    envKind
+	epoch   int64
+	payload any
+}
+
+// New creates a Runtime and starts its simulated network. Call Start to
+// launch PEs.
+func New(cfg Config) (*Runtime, error) {
+	rt := &Runtime{cfg: cfg, done: make(chan struct{}), qdStop: make(chan struct{})}
+	numPEs := cfg.Topo.TotalPEs()
+	rt.pes = make([]*PE, numPEs)
+	for i := range rt.pes {
+		rt.pes[i] = &PE{rt: rt, index: i, mbox: newMailbox(), reductions: make(map[int64]*redState)}
+	}
+	net, err := netsim.NewNetwork(cfg.Topo, cfg.Latency, func(dst int, payload any) {
+		rt.pes[dst].mbox.push(payload)
+	})
+	if err != nil {
+		return nil, err
+	}
+	rt.net = net
+	return rt, nil
+}
+
+// Start instantiates one handler per PE via factory and launches the PE
+// goroutines. It must be called exactly once.
+func (rt *Runtime) Start(factory func(pe *PE) Handler) {
+	for _, pe := range rt.pes {
+		pe.handler = factory(pe)
+	}
+	for _, pe := range rt.pes {
+		rt.wg.Add(1)
+		go pe.run()
+	}
+	if rt.cfg.QuiescencePoll > 0 {
+		go rt.quiescenceMonitor()
+	}
+	go func() {
+		rt.wg.Wait()
+		close(rt.done)
+	}()
+}
+
+// Run is the convenience entry point: create the runtime, start handlers,
+// wait for an Exit call, release resources.
+func Run(cfg Config, factory func(pe *PE) Handler) error {
+	rt, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	rt.Start(factory)
+	rt.Wait()
+	return nil
+}
+
+// Wait blocks until every PE goroutine has exited (after RequestExit or a
+// PE's Exit call).
+func (rt *Runtime) Wait() {
+	<-rt.done
+	rt.net.Close()
+}
+
+// RequestExit asks all PEs to stop once they finish their current handler.
+// Safe to call from any goroutine, multiple times.
+func (rt *Runtime) RequestExit() {
+	rt.stopOnce.Do(func() {
+		rt.stopFlag.Store(true)
+		close(rt.qdStop)
+		for _, pe := range rt.pes {
+			pe.mbox.close()
+		}
+	})
+}
+
+// NumPEs returns the PE count.
+func (rt *Runtime) NumPEs() int { return len(rt.pes) }
+
+// Topology returns the simulated machine shape.
+func (rt *Runtime) Topology() netsim.Topology { return rt.cfg.Topo }
+
+// NetworkStats returns the simulated network's counters.
+func (rt *Runtime) NetworkStats() netsim.Stats { return rt.net.Stats() }
+
+// Network exposes the underlying simulated fabric, primarily so
+// fault-injection tests can install a netsim.DropFilter. Note that
+// zero-delay messages bypass the network (they go straight to the
+// destination mailbox), so a filter only sees messages with non-zero
+// modeled latency.
+func (rt *Runtime) Network() *netsim.Network { return rt.net }
+
+// MessagesSent returns the total number of messages sent so far.
+func (rt *Runtime) MessagesSent() int64 { return rt.sent.Load() }
+
+// Handler returns the handler instance hosted on PE i, for post-run result
+// collection.
+func (rt *Runtime) Handler(i int) Handler { return rt.pes[i].handler }
+
+// Inject delivers msg to dst's handler from outside the PE array — the way
+// a driver seeds the initial work (e.g. the source vertex's first
+// relaxation) or a timer re-enters the message-driven world. Safe from any
+// goroutine; delivery is immediate (no simulated latency).
+func (rt *Runtime) Inject(dst int, msg any) {
+	rt.send(dst, dst, envelope{kind: kindApp, payload: msg}, 0)
+}
+
+// send routes an envelope through the simulated network, or directly into
+// the destination mailbox when the modeled delay is zero (keeping the
+// single dispatcher goroutine off the critical path of shared-memory runs).
+func (rt *Runtime) send(src, dst int, env envelope, size int) {
+	rt.sent.Add(1)
+	tier := rt.cfg.Topo.TierOf(src, dst)
+	if rt.cfg.Latency.Delay(tier, size) == 0 {
+		rt.pes[dst].mbox.push(env)
+		return
+	}
+	rt.net.Send(src, dst, env, size)
+}
+
+// --- PE API (handler-side) ---
+
+// Index returns this PE's id in [0, NumPEs).
+func (pe *PE) Index() int { return pe.index }
+
+// NumPEs returns the machine's PE count.
+func (pe *PE) NumPEs() int { return len(pe.rt.pes) }
+
+// Runtime returns the hosting runtime.
+func (pe *PE) Runtime() *Runtime { return pe.rt }
+
+// Topology returns the simulated machine shape.
+func (pe *PE) Topology() netsim.Topology { return pe.rt.cfg.Topo }
+
+// Send delivers msg to dst's handler after the simulated network delay for
+// a message of the given size (in items).
+func (pe *PE) Send(dst int, msg any, size int) {
+	pe.rt.send(pe.index, dst, envelope{kind: kindApp, payload: msg}, size)
+}
+
+// Delivered returns the number of application messages this PE has
+// processed — the "work methods executed" metric of Fig. 3.
+func (pe *PE) Delivered() int64 { return pe.deliveredApp }
+
+// Work charges d of simulated compute time to this PE. The runtime pays
+// accumulated debt down with real sleeps between messages, serializing the
+// PE's throughput: a PE owning a scale-free hub really does fall behind,
+// reproducing the load-imbalance effects of §IV-F on hosts with fewer
+// cores than simulated PEs. Zero-cost configurations never sleep.
+func (pe *PE) Work(d time.Duration) { pe.workDebt += d }
+
+// Exit requests a runtime-wide stop. Typically called by PE 0 when the
+// algorithm's own termination condition fires.
+func (pe *PE) Exit() { pe.rt.RequestExit() }
+
+// Contribute submits this PE's contribution to reduction epoch. Every PE
+// must contribute exactly once per epoch; contributions combine up a binary
+// tree and the final value arrives at PE 0's OnReduction. Contributions to
+// different epochs may be in flight concurrently.
+func (pe *PE) Contribute(epoch int64, value any) {
+	if pe.rt.cfg.Combine == nil {
+		panic("runtime: Contribute requires Config.Combine")
+	}
+	pe.absorb(epoch, value)
+}
+
+// Broadcast sends payload down the tree from PE 0; every PE (including the
+// root) receives OnBroadcast. It panics if called on another PE, matching
+// the paper's root-driven broadcast cycle. The root's own delivery goes
+// through its mailbox rather than recursing, so a broadcast issued from
+// OnReduction cannot grow the stack and interleaves fairly with queued
+// application messages.
+func (pe *PE) Broadcast(epoch int64, payload any) {
+	if pe.index != 0 {
+		panic(fmt.Sprintf("runtime: Broadcast called on PE %d, only the root may broadcast", pe.index))
+	}
+	pe.mbox.push(envelope{kind: kindBroadcast, epoch: epoch, payload: payload})
+}
+
+// --- internal machinery ---
+
+func treeParent(i int) int { return (i - 1) / 2 }
+
+func treeChildren(i, n int) (int, int, int) {
+	c1, c2 := 2*i+1, 2*i+2
+	count := 0
+	if c1 < n {
+		count++
+	}
+	if c2 < n {
+		count++
+	}
+	return c1, c2, count
+}
+
+// absorb merges a contribution (local or from a child subtree) into the
+// epoch's reduction state, forwarding the partial up the tree when complete.
+func (pe *PE) absorb(epoch int64, value any) {
+	n := len(pe.rt.pes)
+	_, _, nChildren := treeChildren(pe.index, n)
+	expected := 1 + nChildren
+	st := pe.reductions[epoch]
+	if st == nil {
+		st = &redState{}
+		pe.reductions[epoch] = st
+	}
+	if st.has {
+		st.value = pe.rt.cfg.Combine(st.value, value)
+	} else {
+		st.value = value
+		st.has = true
+	}
+	st.got++
+	if st.got < expected {
+		return
+	}
+	delete(pe.reductions, epoch)
+	if pe.index == 0 {
+		// Deliver through the mailbox: the final contribution may have been
+		// made synchronously from a handler (OnBroadcast of the previous
+		// cycle), and a direct call would recurse cycle after cycle.
+		pe.mbox.push(envelope{kind: kindReduceDone, epoch: epoch, payload: st.value})
+		return
+	}
+	pe.rt.send(pe.index, treeParent(pe.index),
+		envelope{kind: kindReducePartial, epoch: epoch, payload: st.value},
+		pe.rt.cfg.controlMsgSize())
+}
+
+func (pe *PE) handleBroadcast(env envelope) {
+	n := len(pe.rt.pes)
+	c1, c2, _ := treeChildren(pe.index, n)
+	size := pe.rt.cfg.controlMsgSize()
+	if c1 < n {
+		pe.rt.send(pe.index, c1, env, size)
+	}
+	if c2 < n {
+		pe.rt.send(pe.index, c2, env, size)
+	}
+	pe.handler.OnBroadcast(pe, env.epoch, env.payload)
+}
+
+func (pe *PE) dispatch(msg any) {
+	env, ok := msg.(envelope)
+	if !ok {
+		// Defensive: everything entering mailboxes is an envelope.
+		panic(fmt.Sprintf("runtime: non-envelope message %T", msg))
+	}
+	tr := pe.rt.cfg.Trace
+	switch env.kind {
+	case kindApp:
+		pe.handler.Deliver(pe, env.payload)
+		pe.deliveredApp++
+		if tr != nil {
+			tr.Record(pe.index, trace.KindDeliver, 0)
+		}
+	case kindReducePartial:
+		pe.absorb(env.epoch, env.payload)
+		if tr != nil {
+			tr.Record(pe.index, trace.KindReduction, env.epoch)
+		}
+	case kindReduceDone:
+		pe.handler.OnReduction(pe, env.epoch, env.payload)
+		if tr != nil {
+			tr.Record(pe.index, trace.KindReduction, env.epoch)
+		}
+	case kindBroadcast:
+		pe.handleBroadcast(env)
+		if tr != nil {
+			tr.Record(pe.index, trace.KindBroadcast, env.epoch)
+		}
+	case kindQuiesce:
+		pe.handler.Deliver(pe, Quiescence{})
+	}
+	pe.rt.delivered.Add(1)
+}
+
+func (pe *PE) run() {
+	defer pe.rt.wg.Done()
+	for {
+		if pe.rt.stopFlag.Load() {
+			return
+		}
+		tr := pe.rt.cfg.Trace
+		if pe.workDebt >= workSleepThreshold {
+			d := pe.workDebt
+			pe.workDebt = 0
+			time.Sleep(d)
+			if tr != nil {
+				tr.Record(pe.index, trace.KindWorkSleep, int64(d))
+			}
+			continue
+		}
+		if msg, ok := pe.mbox.tryPop(); ok {
+			pe.dispatch(msg)
+			continue
+		}
+		if pe.handler.Idle(pe) {
+			if tr != nil {
+				tr.Record(pe.index, trace.KindIdleWork, 0)
+			}
+			continue
+		}
+		// Truly idle: block until the next message or shutdown.
+		if tr != nil {
+			tr.Record(pe.index, trace.KindBlock, 0)
+		}
+		pe.rt.idlePEs.Add(1)
+		msg, ok := pe.mbox.pop()
+		pe.rt.idlePEs.Add(-1)
+		if tr != nil {
+			tr.Record(pe.index, trace.KindWake, 0)
+		}
+		if !ok {
+			return
+		}
+		pe.dispatch(msg)
+	}
+}
+
+// quiescenceMonitor implements the runtime-level detector: the system is
+// quiescent when all PEs are blocked idle, the send and delivery counters
+// match, nothing is in flight in the network, and — to close the race the
+// paper also closes by requiring two consecutive agreeing reductions
+// (§II-D) — the same snapshot is observed twice in a row.
+func (rt *Runtime) quiescenceMonitor() {
+	type snap struct{ sent, delivered, idle int64 }
+	var prev snap
+	havePrev := false
+	ticker := time.NewTicker(rt.cfg.QuiescencePoll)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-rt.qdStop:
+			return
+		case <-ticker.C:
+		}
+		cur := snap{rt.sent.Load(), rt.delivered.Load(), rt.idlePEs.Load()}
+		quiet := cur.sent == cur.delivered &&
+			cur.idle == int64(len(rt.pes)) &&
+			rt.net.QueueLen() == 0
+		if quiet && havePrev && cur == prev {
+			rt.pes[0].mbox.push(envelope{kind: kindQuiesce})
+			return
+		}
+		prev, havePrev = cur, quiet
+	}
+}

@@ -1,0 +1,202 @@
+package seq
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"acic/internal/gen"
+	"acic/internal/graph"
+)
+
+func TestDijkstraDiamond(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 0, To: 2, Weight: 4},
+		{From: 1, To: 2, Weight: 2}, {From: 1, To: 3, Weight: 6},
+		{From: 2, To: 3, Weight: 3},
+	})
+	r := Dijkstra(g, 0)
+	want := []float64{0, 1, 3, 6}
+	for v, w := range want {
+		if r.Dist[v] != w {
+			t.Errorf("dist[%d] = %v, want %v", v, r.Dist[v], w)
+		}
+	}
+	if r.Settled != 4 {
+		t.Errorf("Settled = %d", r.Settled)
+	}
+	if r.Relaxations != 5 {
+		t.Errorf("Relaxations = %d, want 5 (each reachable edge once)", r.Relaxations)
+	}
+}
+
+func TestDijkstraUnreachable(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{{From: 0, To: 1, Weight: 2}, {From: 2, To: 3, Weight: 1}})
+	r := Dijkstra(g, 0)
+	if !math.IsInf(r.Dist[2], 1) || !math.IsInf(r.Dist[3], 1) {
+		t.Error("unreachable vertices should be Inf")
+	}
+	if r.Settled != 2 {
+		t.Errorf("Settled = %d, want 2", r.Settled)
+	}
+}
+
+func TestDijkstraSingleVertex(t *testing.T) {
+	g := graph.MustBuild(1, nil)
+	r := Dijkstra(g, 0)
+	if r.Dist[0] != 0 || r.Settled != 1 {
+		t.Errorf("singleton: %+v", r)
+	}
+}
+
+func TestDijkstraEmptyGraph(t *testing.T) {
+	g := graph.MustBuild(0, nil)
+	r := Dijkstra(g, 0)
+	if len(r.Dist) != 0 {
+		t.Error("empty graph should return empty distances")
+	}
+}
+
+func TestDijkstraZeroWeightEdges(t *testing.T) {
+	g := graph.MustBuild(3, []graph.Edge{
+		{From: 0, To: 1, Weight: 0}, {From: 1, To: 2, Weight: 0},
+	})
+	r := Dijkstra(g, 0)
+	if r.Dist[1] != 0 || r.Dist[2] != 0 {
+		t.Errorf("zero-weight chain: %v", r.Dist)
+	}
+}
+
+func TestDijkstraParallelEdgesAndLoops(t *testing.T) {
+	g := graph.MustBuild(2, []graph.Edge{
+		{From: 0, To: 0, Weight: 5},
+		{From: 0, To: 1, Weight: 9},
+		{From: 0, To: 1, Weight: 3},
+	})
+	r := Dijkstra(g, 0)
+	if r.Dist[1] != 3 {
+		t.Errorf("dist[1] = %v, want 3 (min parallel edge)", r.Dist[1])
+	}
+}
+
+func TestBellmanFordMatchesDijkstraOnFixtures(t *testing.T) {
+	graphs := map[string]*graph.Graph{
+		"path":  gen.Path(50),
+		"star":  gen.Star(50),
+		"cycle": gen.Cycle(50),
+		"grid":  gen.Grid(8, 8, gen.Config{Seed: 1}),
+	}
+	for name, g := range graphs {
+		d := Dijkstra(g, 0)
+		b := BellmanFord(g, 0)
+		if !Equal(d.Dist, b.Dist) {
+			t.Errorf("%s: mismatch at %d", name, FirstMismatch(d.Dist, b.Dist))
+		}
+		if d.Settled != b.Settled {
+			t.Errorf("%s: settled %d vs %d", name, d.Settled, b.Settled)
+		}
+	}
+}
+
+func TestBellmanFordMoreRelaxationsThanDijkstra(t *testing.T) {
+	// Label-correcting does strictly more edge scans on any multi-hop graph
+	// (it rescans all edges per pass) — the waste ACIC exists to curb.
+	g := gen.Grid(10, 10, gen.Config{Seed: 2})
+	d := Dijkstra(g, 0)
+	b := BellmanFord(g, 0)
+	if b.Relaxations <= d.Relaxations {
+		t.Errorf("BF relaxations %d not above Dijkstra %d", b.Relaxations, d.Relaxations)
+	}
+}
+
+func TestEqualToleratesFloatNoise(t *testing.T) {
+	a := []float64{1.0, 2.0, Inf}
+	b := []float64{1.0 + 1e-12, 2.0, Inf}
+	if !Equal(a, b) {
+		t.Error("tiny float noise rejected")
+	}
+	c := []float64{1.0, 2.1, Inf}
+	if Equal(a, c) {
+		t.Error("real difference accepted")
+	}
+	if Equal(a, []float64{1.0, 2.0, 3.0}) {
+		t.Error("Inf vs finite accepted")
+	}
+	if Equal(a, a[:2]) {
+		t.Error("length mismatch accepted")
+	}
+}
+
+func TestFirstMismatch(t *testing.T) {
+	a := []float64{1, 2, 3}
+	if i := FirstMismatch(a, []float64{1, 2, 3}); i != -1 {
+		t.Errorf("identical: %d", i)
+	}
+	if i := FirstMismatch(a, []float64{1, 9, 3}); i != 1 {
+		t.Errorf("mismatch index = %d, want 1", i)
+	}
+	if i := FirstMismatch(a, []float64{1, 2}); i != 2 {
+		t.Errorf("length mismatch index = %d, want 2", i)
+	}
+}
+
+// Property: Dijkstra and Bellman-Ford agree on arbitrary random graphs and
+// sources, and distances satisfy the triangle inequality over every edge:
+// dist[to] <= dist[from] + w.
+func TestQuickOraclesAgreeAndAreConsistent(t *testing.T) {
+	f := func(seed uint64, nRaw, srcRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		m := int(mRaw % 600)
+		src := int(srcRaw) % n
+		g := gen.Uniform(n, m, gen.Config{Seed: seed, MaxWeight: 50})
+		d := Dijkstra(g, src)
+		b := BellmanFord(g, src)
+		if !Equal(d.Dist, b.Dist) {
+			return false
+		}
+		ok := true
+		g.EachEdge(func(from, to int32, w float64) {
+			if math.IsInf(d.Dist[from], 1) {
+				return
+			}
+			if d.Dist[to] > d.Dist[from]+w+1e-9 {
+				ok = false
+			}
+		})
+		return ok && d.Dist[src] == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the settled count equals the BFS-reachable vertex count.
+func TestQuickSettledEqualsReachable(t *testing.T) {
+	f := func(seed uint64, nRaw uint8, mRaw uint16) bool {
+		n := int(nRaw%60) + 2
+		m := int(mRaw % 400)
+		g := gen.Uniform(n, m, gen.Config{Seed: seed})
+		d := Dijkstra(g, 0)
+		reach, _ := g.ReachableFrom(0)
+		return d.Settled == reach
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkDijkstraRMAT14(b *testing.B) {
+	g := gen.RMAT(14, 16, gen.DefaultRMAT(), gen.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Dijkstra(g, 0)
+	}
+}
+
+func BenchmarkBellmanFordGrid(b *testing.B) {
+	g := gen.Grid(64, 64, gen.Config{Seed: 1})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		BellmanFord(g, 0)
+	}
+}

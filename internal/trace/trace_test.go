@@ -1,0 +1,130 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestRecordAndTimeline(t *testing.T) {
+	r := New(2, 16)
+	r.Record(0, KindDeliver, 1)
+	r.Record(0, KindIdleWork, 2)
+	r.Record(1, KindBlock, 0)
+	tl := r.Timeline(0)
+	if len(tl) != 2 {
+		t.Fatalf("timeline length %d", len(tl))
+	}
+	if tl[0].Kind != KindDeliver || tl[1].Kind != KindIdleWork {
+		t.Error("event kinds wrong")
+	}
+	if tl[1].At < tl[0].At {
+		t.Error("timestamps not monotone")
+	}
+	if len(r.Timeline(1)) != 1 {
+		t.Error("PE 1 timeline wrong")
+	}
+}
+
+func TestOverflowKeepsTail(t *testing.T) {
+	r := New(1, 8)
+	for i := 0; i < 20; i++ {
+		r.Record(0, KindDeliver, int64(i))
+	}
+	tl := r.Timeline(0)
+	if len(tl) > 8 {
+		t.Fatalf("buffer exceeded cap: %d", len(tl))
+	}
+	if r.Dropped(0) == 0 {
+		t.Error("no drops recorded despite overflow")
+	}
+	// The newest event must be retained.
+	if tl[len(tl)-1].Arg != 19 {
+		t.Errorf("tail lost: last arg %d", tl[len(tl)-1].Arg)
+	}
+}
+
+func TestCounts(t *testing.T) {
+	r := New(1, 0) // default cap
+	for i := 0; i < 5; i++ {
+		r.Record(0, KindDeliver, 0)
+	}
+	r.Record(0, KindBroadcast, 0)
+	c := r.Counts(0)
+	if c[KindDeliver] != 5 || c[KindBroadcast] != 1 {
+		t.Errorf("counts = %v", c)
+	}
+}
+
+func TestSummarizeBlockedTime(t *testing.T) {
+	r := New(1, 64)
+	r.Record(0, KindBlock, 0)
+	time.Sleep(2 * time.Millisecond)
+	r.Record(0, KindWake, 0)
+	r.Record(0, KindWorkSleep, int64(5*time.Millisecond))
+	s := r.Summarize()
+	if len(s) != 1 {
+		t.Fatal("summary count")
+	}
+	if s[0].BlockedTime < 2*time.Millisecond {
+		t.Errorf("BlockedTime = %v, want >= 2ms", s[0].BlockedTime)
+	}
+	if s[0].SleptNanos != int64(5*time.Millisecond) {
+		t.Errorf("SleptNanos = %d", s[0].SleptNanos)
+	}
+}
+
+func TestWriteSummary(t *testing.T) {
+	r := New(2, 16)
+	r.Record(0, KindDeliver, 0)
+	r.Record(1, KindIdleWork, 0)
+	var sb strings.Builder
+	if err := r.WriteSummary(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, "deliver") || !strings.Contains(out, "blocked") {
+		t.Errorf("summary missing columns:\n%s", out)
+	}
+	if len(strings.Split(strings.TrimSpace(out), "\n")) != 3 {
+		t.Errorf("summary should have header + 2 rows:\n%s", out)
+	}
+}
+
+func TestBusiestPE(t *testing.T) {
+	r := New(3, 64)
+	r.Record(0, KindDeliver, 0)
+	for i := 0; i < 5; i++ {
+		r.Record(2, KindIdleWork, 0)
+	}
+	if got := r.BusiestPE(); got != 2 {
+		t.Errorf("BusiestPE = %d, want 2", got)
+	}
+}
+
+func TestMergedChronological(t *testing.T) {
+	r := New(2, 16)
+	r.Record(0, KindDeliver, 0)
+	r.Record(1, KindDeliver, 0)
+	r.Record(0, KindBlock, 0)
+	m := r.Merged()
+	if len(m) != 3 {
+		t.Fatalf("merged length %d", len(m))
+	}
+	for i := 1; i < len(m); i++ {
+		if m[i].At < m[i-1].At {
+			t.Error("merged timeline not chronological")
+		}
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k := Kind(0); k < numKinds; k++ {
+		if k.String() == "" || strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no label", k)
+		}
+	}
+	if Kind(200).String() == "" {
+		t.Error("unknown kind should render")
+	}
+}

@@ -1,0 +1,265 @@
+// Package tram reimplements tramlib, the message-aggregation library the
+// paper introduces for Charm++ (§II-D).
+//
+// SSSP generates enormous numbers of tiny update messages; sending each one
+// individually would be dominated by per-message latency. Tramlib holds
+// outgoing items in per-destination buffers and sends a whole buffer as one
+// batch when it reaches a configured capacity (an "automatic flush"), or
+// when the application explicitly flushes — which ACIC does during the
+// broadcast after every reduction, guaranteeing progress through the
+// low-concurrency "tail" of the graph where buffers never fill on their own.
+//
+// Buffer organization follows the paper's two-letter designations: the
+// first letter says who owns a buffer set (P = one set per process, shared
+// by its PEs under a lock; W = one private set per worker/PE), the second
+// says the destination granularity (P = one buffer per destination process;
+// W = one buffer per destination PE). The paper finds WP best for SSSP and
+// uses it for all experiments; all four of PP, WP, WW and PW are
+// implemented here so that choice can be re-derived (see the aggregation
+// mode benchmark).
+//
+// The manager is a pure buffering policy: it never touches the network.
+// Insert and the flush methods return Batches, and the caller (the ACIC
+// core, or a baseline) forwards each batch through the runtime. A batch
+// destined to a process is addressed to one of the process's PEs chosen
+// round-robin, standing in for the per-process communication thread that
+// demultiplexes arrivals in the paper's SMP configuration.
+package tram
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"acic/internal/netsim"
+)
+
+// Mode selects the buffer organization, named as in the paper.
+type Mode uint8
+
+// Aggregation modes. First letter: buffer-set owner. Second: destination
+// granularity.
+const (
+	WW Mode = iota // per-worker sets, one buffer per destination PE
+	WP             // per-worker sets, one buffer per destination process (paper's choice)
+	PW             // per-process sets, one buffer per destination PE
+	PP             // per-process sets, one buffer per destination process
+)
+
+// String returns the paper's two-letter designation.
+func (m Mode) String() string {
+	switch m {
+	case WW:
+		return "WW"
+	case WP:
+		return "WP"
+	case PW:
+		return "PW"
+	case PP:
+		return "PP"
+	default:
+		return fmt.Sprintf("Mode(%d)", uint8(m))
+	}
+}
+
+// DefaultCapacity is the middle of the three buffer sizes tramlib supports
+// (512, 1024, 2048 items; §IV-E).
+const DefaultCapacity = 1024
+
+// SupportedCapacities are the buffer sizes the paper's tramlib offers.
+var SupportedCapacities = []int{512, 1024, 2048}
+
+// Batch is a group of items flushed together; the caller sends it as one
+// message to DestPE.
+type Batch[T any] struct {
+	SrcPE  int
+	DestPE int
+	Items  []T
+}
+
+// Stats counts tramlib activity. All fields are cumulative.
+type Stats struct {
+	Inserts       int64
+	AutoFlushes   int64 // buffer reached capacity
+	ManualFlushes int64 // explicit flush calls that produced a batch
+	Batches       int64
+	Items         int64 // items carried by all batches
+}
+
+// Manager implements the buffering policy for one simulated machine.
+type Manager[T any] struct {
+	topo netsim.Topology
+	mode Mode
+	cap  int
+
+	sets []bufferSet[T]
+
+	inserts       atomic.Int64
+	autoFlushes   atomic.Int64
+	manualFlushes atomic.Int64
+	batches       atomic.Int64
+	items         atomic.Int64
+}
+
+type bufferSet[T any] struct {
+	mu   *sync.Mutex // non-nil for process-owned (shared) sets
+	bufs [][]T       // indexed by destination PE or process
+	rr   int         // round-robin offset for process-granularity delivery
+}
+
+// New creates a Manager for the given topology, mode and per-buffer
+// capacity. Capacity must be positive; the paper's supported sizes are 512,
+// 1024 and 2048 but any positive value is accepted for experiments.
+func New[T any](topo netsim.Topology, mode Mode, capacity int) (*Manager[T], error) {
+	if err := topo.Validate(); err != nil {
+		return nil, err
+	}
+	if capacity <= 0 {
+		return nil, fmt.Errorf("tram: capacity must be positive, got %d", capacity)
+	}
+	if mode > PP {
+		return nil, fmt.Errorf("tram: unknown mode %d", mode)
+	}
+	m := &Manager[T]{topo: topo, mode: mode, cap: capacity}
+	numSets := topo.TotalPEs()
+	if mode == PW || mode == PP {
+		numSets = topo.TotalProcs()
+	}
+	numDests := topo.TotalPEs()
+	if mode == WP || mode == PP {
+		numDests = topo.TotalProcs()
+	}
+	m.sets = make([]bufferSet[T], numSets)
+	for i := range m.sets {
+		m.sets[i].bufs = make([][]T, numDests)
+		if mode == PW || mode == PP {
+			m.sets[i].mu = new(sync.Mutex)
+		}
+	}
+	return m, nil
+}
+
+// Mode returns the aggregation mode.
+func (m *Manager[T]) Mode() Mode { return m.mode }
+
+// Capacity returns the per-buffer item capacity.
+func (m *Manager[T]) Capacity() int { return m.cap }
+
+// NumBuffers returns the total number of buffers maintained — the quantity
+// that grows with parallelism and drives Fig. 6's shrinking optimal size.
+func (m *Manager[T]) NumBuffers() int {
+	if len(m.sets) == 0 {
+		return 0
+	}
+	return len(m.sets) * len(m.sets[0].bufs)
+}
+
+func (m *Manager[T]) setIndex(srcPE int) int {
+	if m.mode == PW || m.mode == PP {
+		return m.topo.ProcessOf(srcPE)
+	}
+	return srcPE
+}
+
+func (m *Manager[T]) destIndex(dstPE int) int {
+	if m.mode == WP || m.mode == PP {
+		return m.topo.ProcessOf(dstPE)
+	}
+	return dstPE
+}
+
+// deliveryPE resolves a destination buffer index back to a concrete PE.
+// For PE-granularity buffers it is the PE itself; for process-granularity
+// buffers one of the process's PEs is picked round-robin per flush,
+// standing in for the process's communication thread.
+func (m *Manager[T]) deliveryPE(set *bufferSet[T], destIdx int) int {
+	if m.mode == WW || m.mode == PW {
+		return destIdx
+	}
+	lo, hi := m.topo.PEsOfProcess(destIdx)
+	pe := lo + set.rr%(hi-lo)
+	set.rr++
+	return pe
+}
+
+// Insert buffers item for dstPE on behalf of srcPE. If the buffer reaches
+// capacity the filled batch is cut and returned for the caller to send;
+// otherwise the returned batch is nil.
+func (m *Manager[T]) Insert(srcPE, dstPE int, item T) *Batch[T] {
+	m.inserts.Add(1)
+	set := &m.sets[m.setIndex(srcPE)]
+	d := m.destIndex(dstPE)
+	if set.mu != nil {
+		set.mu.Lock()
+		defer set.mu.Unlock()
+	}
+	set.bufs[d] = append(set.bufs[d], item)
+	if len(set.bufs[d]) < m.cap {
+		return nil
+	}
+	m.autoFlushes.Add(1)
+	return m.cut(srcPE, set, d)
+}
+
+// cut removes and wraps the buffer at destination index d. Caller holds the
+// set lock if the set is shared.
+func (m *Manager[T]) cut(srcPE int, set *bufferSet[T], d int) *Batch[T] {
+	items := set.bufs[d]
+	if len(items) == 0 {
+		return nil
+	}
+	set.bufs[d] = nil
+	m.batches.Add(1)
+	m.items.Add(int64(len(items)))
+	return &Batch[T]{SrcPE: srcPE, DestPE: m.deliveryPE(set, d), Items: items}
+}
+
+// FlushSet performs an explicit flush of the buffer set srcPE writes to,
+// returning every non-empty buffer as a batch. ACIC calls this from each
+// PE's broadcast handler; note that under process-owned modes several PEs
+// share a set, so a process's set may be flushed by whichever of its PEs
+// handles the broadcast first — subsequent flushes find it empty, which is
+// harmless.
+func (m *Manager[T]) FlushSet(srcPE int) []Batch[T] {
+	set := &m.sets[m.setIndex(srcPE)]
+	if set.mu != nil {
+		set.mu.Lock()
+		defer set.mu.Unlock()
+	}
+	var out []Batch[T]
+	for d := range set.bufs {
+		if b := m.cut(srcPE, set, d); b != nil {
+			out = append(out, *b)
+		}
+	}
+	if len(out) > 0 {
+		m.manualFlushes.Add(1)
+	}
+	return out
+}
+
+// PendingInSet reports the number of items currently buffered in srcPE's
+// set. Used by tests and by the tail-progress assertions.
+func (m *Manager[T]) PendingInSet(srcPE int) int {
+	set := &m.sets[m.setIndex(srcPE)]
+	if set.mu != nil {
+		set.mu.Lock()
+		defer set.mu.Unlock()
+	}
+	n := 0
+	for _, b := range set.bufs {
+		n += len(b)
+	}
+	return n
+}
+
+// Stats returns a snapshot of the counters.
+func (m *Manager[T]) Stats() Stats {
+	return Stats{
+		Inserts:       m.inserts.Load(),
+		AutoFlushes:   m.autoFlushes.Load(),
+		ManualFlushes: m.manualFlushes.Load(),
+		Batches:       m.batches.Load(),
+		Items:         m.items.Load(),
+	}
+}

@@ -1,0 +1,257 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSplitMix64KnownValues(t *testing.T) {
+	// Golden values for seed 1234567. These lock the sequence so that saved
+	// experiment seeds keep reproducing identical graphs across releases.
+	sm := NewSplitMix64(1234567)
+	got := []uint64{sm.Next(), sm.Next(), sm.Next()}
+	want := []uint64{0x599ed017fb08fc85, 0x2c73f08458540fa5, 0x883ebce5a3f27c77}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("SplitMix64 value %d = %#x, want %#x", i, got[i], want[i])
+		}
+	}
+}
+
+func TestNewIsDeterministic(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if av, bv := a.Uint64(), b.Uint64(); av != bv {
+			t.Fatalf("sequence diverged at step %d: %d != %d", i, av, bv)
+		}
+	}
+}
+
+func TestDifferentSeedsDiffer(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestNewStreamIndependence(t *testing.T) {
+	a := NewStream(7, 0)
+	b := NewStream(7, 1)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("streams 0 and 1 produced %d identical values out of 100", same)
+	}
+}
+
+func TestNewStreamDeterministic(t *testing.T) {
+	a := NewStream(7, 3)
+	b := NewStream(7, 3)
+	if a.Uint64() != b.Uint64() {
+		t.Error("NewStream with identical arguments produced different sequences")
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(99)
+	for _, n := range []int{1, 2, 3, 10, 1000, 1 << 30} {
+		for i := 0; i < 200; i++ {
+			v := r.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestUint64nPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Uint64n(0) did not panic")
+		}
+	}()
+	New(1).Uint64n(0)
+}
+
+func TestUint64nUniformity(t *testing.T) {
+	// Chi-squared test over 8 cells; loose threshold to avoid flakiness.
+	r := New(2024)
+	const cells = 8
+	const samples = 80000
+	counts := make([]int, cells)
+	for i := 0; i < samples; i++ {
+		counts[r.Uint64n(cells)]++
+	}
+	expected := float64(samples) / cells
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expected
+		chi2 += d * d / expected
+	}
+	// 7 degrees of freedom; p=0.001 critical value is 24.32.
+	if chi2 > 24.32 {
+		t.Errorf("chi-squared = %.2f, counts = %v", chi2, counts)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := New(5)
+	for i := 0; i < 10000; i++ {
+		v := r.Float64()
+		if v < 0 || v >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", v)
+		}
+	}
+}
+
+func TestRange(t *testing.T) {
+	r := New(6)
+	for i := 0; i < 1000; i++ {
+		v := r.Range(3, 7)
+		if v < 3 || v >= 7 {
+			t.Fatalf("Range(3,7) = %v", v)
+		}
+	}
+}
+
+func TestRangePanicsWhenInverted(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Range(7,3) did not panic")
+		}
+	}()
+	New(1).Range(7, 3)
+}
+
+func TestExpPositiveAndMean(t *testing.T) {
+	r := New(8)
+	sum := 0.0
+	const n = 50000
+	for i := 0; i < n; i++ {
+		v := r.Exp(2.0)
+		if v < 0 {
+			t.Fatalf("Exp produced negative value %v", v)
+		}
+		sum += v
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.02 {
+		t.Errorf("Exp(2) sample mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := New(9)
+	for _, n := range []int{0, 1, 2, 5, 100} {
+		p := r.Perm(n)
+		if len(p) != n {
+			t.Fatalf("Perm(%d) has length %d", n, len(p))
+		}
+		seen := make([]bool, n)
+		for _, v := range p {
+			if v < 0 || v >= n || seen[v] {
+				t.Fatalf("Perm(%d) = %v is not a permutation", n, p)
+			}
+			seen[v] = true
+		}
+	}
+}
+
+func TestShufflePreservesMultiset(t *testing.T) {
+	r := New(10)
+	s := []int{1, 2, 3, 4, 5, 6, 7, 8}
+	sum := 0
+	for _, v := range s {
+		sum += v
+	}
+	r.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] })
+	got := 0
+	for _, v := range s {
+		got += v
+	}
+	if got != sum {
+		t.Errorf("Shuffle changed element sum: %d -> %d", sum, got)
+	}
+}
+
+func TestSplitProducesIndependentStream(t *testing.T) {
+	a := New(11)
+	b := a.Split()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("parent and split child matched %d/100 values", same)
+	}
+}
+
+// Property: Uint64n(n) < n for all n > 0.
+func TestQuickUint64nInRange(t *testing.T) {
+	r := New(123)
+	f := func(n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		return r.Uint64n(n) < n
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: two generators with the same seed agree on arbitrary prefixes.
+func TestQuickDeterminism(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		a, b := New(seed), New(seed)
+		for i := 0; i < int(n); i++ {
+			if a.Uint64() != b.Uint64() {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkUint64n(b *testing.B) {
+	r := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink = r.Uint64n(1000003)
+	}
+	_ = sink
+}
