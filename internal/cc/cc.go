@@ -186,6 +186,7 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []labelUpdate) {
 	for owner, group := range forwards {
 		pe.Send(owner, batchMsg{items: group}, len(group))
 	}
+	st.shared.tm.Release(items) // batch unpacked: recycle its capacity
 }
 
 func (st *peState) pushFrontier(v int32) {

@@ -182,6 +182,9 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []Update) {
 	for owner, group := range forwards {
 		pe.Send(owner, batchMsg{items: group}, len(group))
 	}
+	// The batch is fully unpacked (items copied or applied): recycle its
+	// backing array into the tram pool.
+	st.shared.tm.Release(items)
 }
 
 // receiveUpdate applies the arrival rules of §II-C: an update that improves

@@ -211,6 +211,7 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []wire) {
 	for dst, group := range forwards {
 		pe.Send(dst, batchMsg{items: group}, len(group))
 	}
+	st.shared.tm.Release(items) // batch unpacked: recycle its capacity
 }
 
 // applyCandidate applies a relaxation result at the vertex owner.

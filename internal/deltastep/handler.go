@@ -262,6 +262,7 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []request) {
 	for owner, group := range forwards {
 		pe.Send(owner, batchMsg{items: group}, len(group))
 	}
+	st.shared.tm.Release(items) // batch unpacked: recycle its capacity
 }
 
 // relax creates a relaxation request for edge (v -> w, weight c) given v's

@@ -147,6 +147,7 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []update) {
 	for owner, group := range forwards {
 		pe.Send(owner, batchMsg{items: group}, len(group))
 	}
+	st.shared.tm.Release(items) // batch unpacked: recycle its capacity
 }
 
 // Idle drains local work best-first, then flushes stranded tram buffers.

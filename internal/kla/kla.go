@@ -221,6 +221,7 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []update) {
 	for owner, group := range forwards {
 		pe.Send(owner, batchMsg{items: group}, len(group))
 	}
+	st.shared.tm.Release(items) // batch unpacked: recycle its capacity
 }
 
 // relaxFrom sends one onward update per out-edge of v at depth level+1.

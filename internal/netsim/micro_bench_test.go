@@ -1,0 +1,25 @@
+package netsim
+
+import "testing"
+
+// BenchmarkNetsimSend measures the sender-side cost of scheduling one
+// message on the delay-queue fabric: tier classification, delay
+// computation, enqueue into the destination's lane. The payload is
+// pre-boxed so the benchmark isolates the fabric's own overhead. The
+// dispatcher drains concurrently (zero modeled latency keeps queue depth,
+// and therefore heap capacity, in steady state).
+func BenchmarkNetsimSend(b *testing.B) {
+	n, err := NewNetwork(PaperNode(2), ZeroLatency(), func(int, any) {})
+	if err != nil {
+		b.Fatal(err)
+	}
+	numPEs := PaperNode(2).TotalPEs()
+	var payload any = 42
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(0, i%numPEs, payload, 8)
+	}
+	b.StopTimer()
+	n.Close()
+}

@@ -11,18 +11,22 @@
 //
 // A Topology describes nodes × processes-per-node × PEs-per-process exactly
 // as the paper configures its runs (8 processes/node, 6 PEs/process). A
-// Network owns a time-ordered delay queue: senders enqueue a message with
-// the latency implied by the (src, dst) tier plus a per-item serialization
-// cost, and a dispatcher goroutine delivers each message to the
-// caller-provided delivery function when its deadline arrives. Messages
+// Network owns a sharded, time-ordered delay-queue fabric: one lane (a
+// typed min-heap under its own mutex) per destination PE. Senders enqueue
+// a message into the destination's lane with the latency implied by the
+// (src, dst) tier plus a per-item serialization cost, and a single
+// dispatcher goroutine delivers each message to the caller-provided
+// delivery function when its deadline arrives, waking exactly at the
+// earliest pending deadline (timer + wake channel, no polling). Messages
 // between two PEs are delivered in send order (FIFO per source-destination
 // pair), matching the in-order delivery Charm++ guarantees between a pair
-// of PEs on one channel.
+// of PEs on one channel: both endpoints of a pair map to the same lane,
+// where a per-lane sequence number breaks deadline ties in enqueue order.
 package netsim
 
 import (
-	"container/heap"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -163,43 +167,110 @@ type Stats struct {
 // visibly hangs rather than silently producing wrong distances.
 type DropFilter func(src, dst, size int) bool
 
-// Network is the delay-queue message fabric.
+// Network is the sharded delay-queue message fabric.
 type Network struct {
 	topo    Topology
 	model   LatencyModel
 	deliver func(dst int, payload any)
-	drop    DropFilter
+	drop    atomic.Pointer[DropFilter]
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	queue   deliveryHeap
-	seq     uint64 // tiebreak: preserves FIFO among equal deadlines
-	closed  bool
-	stats   Stats
-	started bool
-	done    chan struct{}
+	// epoch anchors all deadlines: deliveries are scheduled in nanoseconds
+	// since epoch, measured with the monotonic clock, so deadline math is
+	// plain int64 comparison and immune to wall-clock steps.
+	epoch time.Time
+
+	lanes []lane // one per destination PE
+
+	queued   atomic.Int64 // scheduled but not yet delivered, all lanes
+	maxDepth atomic.Int64
+
+	closed    atomic.Bool
+	closeOnce sync.Once
+	wake      chan struct{} // buffered(1): senders nudge the dispatcher
+	done      chan struct{}
+
+	stats Stats
+}
+
+// laneEmpty is the nextAt sentinel for a lane with nothing queued.
+const laneEmpty = math.MaxInt64
+
+// lane is one destination PE's delay queue. Both directions of a (src,dst)
+// pair hit a single lane (the dst's), so per-pair FIFO needs only the
+// per-lane seq tiebreak. The padding keeps neighboring lanes off one cache
+// line; lanes are the contended structures of the fabric.
+type lane struct {
+	mu     sync.Mutex
+	q      deliveryQueue
+	seq    uint64 // tiebreak: preserves FIFO among equal deadlines
+	closed bool
+
+	// nextAt mirrors the head deadline (laneEmpty when empty) so the
+	// dispatcher can scan lanes without taking their locks.
+	nextAt atomic.Int64
+
+	_ [64]byte
 }
 
 type delivery struct {
-	at      time.Time
+	at      int64 // nanoseconds since Network.epoch
 	seq     uint64
-	dst     int
 	payload any
 }
 
-type deliveryHeap []delivery
+// deliveryQueue is a hand-rolled binary min-heap over delivery values.
+// Unlike container/heap it never boxes elements into interfaces, so a
+// steady-state push/pop cycle allocates nothing once the backing array has
+// grown to the high-water depth.
+type deliveryQueue []delivery
 
-func (h deliveryHeap) Len() int { return len(h) }
-func (h deliveryHeap) Less(i, j int) bool {
-	if !h[i].at.Equal(h[j].at) {
-		return h[i].at.Before(h[j].at)
+func (q deliveryQueue) less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
 	}
-	return h[i].seq < h[j].seq
+	return q[i].seq < q[j].seq
 }
-func (h deliveryHeap) Swap(i, j int)  { h[i], h[j] = h[j], h[i] }
-func (h *deliveryHeap) Push(x any)    { *h = append(*h, x.(delivery)) }
-func (h *deliveryHeap) Pop() any      { old := *h; n := len(old); d := old[n-1]; *h = old[:n-1]; return d }
-func (h deliveryHeap) peek() delivery { return h[0] }
+
+func (q *deliveryQueue) push(d delivery) {
+	*q = append(*q, d)
+	h := *q
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !h.less(i, parent) {
+			break
+		}
+		h[i], h[parent] = h[parent], h[i]
+		i = parent
+	}
+}
+
+func (q *deliveryQueue) pop() delivery {
+	h := *q
+	d := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n].payload = nil // release for GC
+	h = h[:n]
+	*q = h
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		min := i
+		if l < n && h.less(l, min) {
+			min = l
+		}
+		if r < n && h.less(r, min) {
+			min = r
+		}
+		if min == i {
+			break
+		}
+		h[i], h[min] = h[min], h[i]
+		i = min
+	}
+	return d
+}
 
 // NewNetwork creates a network over topo with the given latency model.
 // deliver is invoked from the dispatcher goroutine for every message at its
@@ -217,10 +288,14 @@ func NewNetwork(topo Topology, model LatencyModel, deliver func(dst int, payload
 		topo:    topo,
 		model:   model,
 		deliver: deliver,
+		epoch:   time.Now(),
+		lanes:   make([]lane, topo.TotalPEs()),
+		wake:    make(chan struct{}, 1),
 		done:    make(chan struct{}),
 	}
-	n.cond = sync.NewCond(&n.mu)
-	n.started = true
+	for i := range n.lanes {
+		n.lanes[i].nextAt.Store(laneEmpty)
+	}
 	go n.dispatch()
 	return n, nil
 }
@@ -229,12 +304,15 @@ func NewNetwork(topo Topology, model LatencyModel, deliver func(dst int, payload
 func (n *Network) Topology() Topology { return n.topo }
 
 // SetDropFilter installs a fault-injection filter. Call before any Send;
-// the filter runs on sender goroutines and must be safe for concurrent
-// use. A nil filter (the default) delivers everything.
+// the filter runs on sender goroutines — outside every fabric lock, so a
+// slow filter can never stall the dispatcher — and must be safe for
+// concurrent use. A nil filter (the default) delivers everything.
 func (n *Network) SetDropFilter(f DropFilter) {
-	n.mu.Lock()
-	n.drop = f
-	n.mu.Unlock()
+	if f == nil {
+		n.drop.Store(nil)
+		return
+	}
+	n.drop.Store(&f)
 }
 
 // Model returns the latency model.
@@ -242,97 +320,149 @@ func (n *Network) Model() LatencyModel { return n.model }
 
 // Send schedules payload for delivery to dst's mailbox after the delay
 // implied by the (src, dst) tier and size (in items). It is safe for
-// concurrent use. Sending on a closed network is a no-op.
+// concurrent use. Sending on a closed network is a no-op. A message counts
+// toward MessagesSent/ItemsSent/BytesByTier only when it is actually
+// enqueued: dropped and post-close sends are not traffic.
 func (n *Network) Send(src, dst int, payload any, size int) {
+	// The drop filter is user code: evaluate it before touching any
+	// fabric lock so a slow filter cannot stall the dispatcher.
+	if f := n.drop.Load(); f != nil && (*f)(src, dst, size) {
+		atomic.AddInt64(&n.stats.Dropped, 1)
+		return
+	}
 	tier := n.topo.TierOf(src, dst)
 	delay := n.model.Delay(tier, size)
+	at := int64(time.Since(n.epoch) + delay)
+
+	la := &n.lanes[dst]
+	la.mu.Lock()
+	if la.closed {
+		la.mu.Unlock()
+		return
+	}
+	la.seq++
+	la.q.push(delivery{at: at, seq: la.seq, payload: payload})
+	newHead := la.q[0].at == at && la.q[0].seq == la.seq
+	if newHead {
+		la.nextAt.Store(at)
+	}
+	la.mu.Unlock()
+
 	atomic.AddInt64(&n.stats.MessagesSent, 1)
 	atomic.AddInt64(&n.stats.ItemsSent, int64(size))
 	atomic.AddInt64(&n.stats.BytesByTier[tier], int64(size))
-
-	n.mu.Lock()
-	if n.drop != nil && n.drop(src, dst, size) {
-		atomic.AddInt64(&n.stats.Dropped, 1)
-		n.mu.Unlock()
-		return
+	depth := n.queued.Add(1)
+	for {
+		cur := n.maxDepth.Load()
+		if depth <= cur || n.maxDepth.CompareAndSwap(cur, depth) {
+			break
+		}
 	}
-	if n.closed {
-		n.mu.Unlock()
-		return
+	if newHead {
+		// This message is now its lane's earliest; the dispatcher may be
+		// sleeping toward a later deadline. Non-blocking nudge: a full
+		// buffer means a wake is already pending.
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
 	}
-	n.seq++
-	heap.Push(&n.queue, delivery{at: time.Now().Add(delay), seq: n.seq, dst: dst, payload: payload})
-	if d := int64(len(n.queue)); d > n.stats.MaxQueueDepth {
-		n.stats.MaxQueueDepth = d
-	}
-	n.cond.Signal()
-	n.mu.Unlock()
 }
 
-// dispatch delivers queued messages at their deadlines.
+// dispatch delivers queued messages at their deadlines. It scans the
+// lanes' lock-free nextAt mirrors for the earliest pending deadline, then
+// waits exactly until that deadline (or an earlier-deadline send arrives)
+// on a timer + wake channel — no polling naps, so sub-millisecond
+// latencies are honored without spinning.
 func (n *Network) dispatch() {
 	defer close(n.done)
-	n.mu.Lock()
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
 	for {
-		for len(n.queue) == 0 && !n.closed {
-			n.cond.Wait()
-		}
-		if n.closed && len(n.queue) == 0 {
-			n.mu.Unlock()
-			return
-		}
-		next := n.queue.peek()
-		now := time.Now()
-		if next.at.After(now) {
-			// Sleep outside the lock so senders can enqueue; re-check the
-			// head afterwards because an earlier message may have arrived.
-			wait := next.at.Sub(now)
-			n.mu.Unlock()
-			if wait > time.Millisecond {
-				// Bounded nap: wake early if an earlier deadline arrives.
-				time.Sleep(time.Millisecond)
-			} else {
-				time.Sleep(wait)
+		best := -1
+		bestAt := int64(laneEmpty)
+		for i := range n.lanes {
+			if at := n.lanes[i].nextAt.Load(); at < bestAt {
+				bestAt, best = at, i
 			}
-			n.mu.Lock()
+		}
+		if best < 0 {
+			// Nothing queued anywhere. Every lane is marked closed before
+			// n.closed is set, so observing closed here means no further
+			// enqueue can happen: drained, done.
+			if n.closed.Load() {
+				return
+			}
+			<-n.wake
 			continue
 		}
-		d := heap.Pop(&n.queue).(delivery)
-		n.mu.Unlock()
-		n.deliver(d.dst, d.payload)
-		n.mu.Lock()
+		now := int64(time.Since(n.epoch))
+		if bestAt > now {
+			timer.Reset(time.Duration(bestAt - now))
+			select {
+			case <-n.wake:
+				// An earlier deadline may have arrived; rescan.
+				if !timer.Stop() {
+					<-timer.C
+				}
+			case <-timer.C:
+			}
+			continue
+		}
+		la := &n.lanes[best]
+		la.mu.Lock()
+		var payload any
+		delivered := false
+		if len(la.q) > 0 && la.q[0].at <= now {
+			payload = la.q.pop().payload
+			delivered = true
+			if len(la.q) > 0 {
+				la.nextAt.Store(la.q[0].at)
+			} else {
+				la.nextAt.Store(laneEmpty)
+			}
+		}
+		la.mu.Unlock()
+		if delivered {
+			n.deliver(best, payload)
+			n.queued.Add(-1)
+		}
 	}
 }
 
-// Close stops accepting new messages, delivers everything still queued, and
-// waits for the dispatcher to exit.
+// Close stops accepting new messages, delivers everything still queued at
+// its scheduled deadline, and waits for the dispatcher to exit.
 func (n *Network) Close() {
-	n.mu.Lock()
-	if n.closed {
-		n.mu.Unlock()
-		<-n.done
-		return
-	}
-	n.closed = true
-	n.cond.Signal()
-	n.mu.Unlock()
+	n.closeOnce.Do(func() {
+		// Mark every lane closed first: once the loop finishes no sender
+		// can enqueue, and only then may the dispatcher's "closed and all
+		// lanes empty" exit check become true.
+		for i := range n.lanes {
+			la := &n.lanes[i]
+			la.mu.Lock()
+			la.closed = true
+			la.mu.Unlock()
+		}
+		n.closed.Store(true)
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
+	})
 	<-n.done
 }
 
 // QueueLen reports how many messages are scheduled but not yet delivered.
 // The runtime's quiescence detector uses it to rule out in-flight messages.
 func (n *Network) QueueLen() int {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return len(n.queue)
+	return int(n.queued.Load())
 }
 
 // Stats returns a copy of the network counters. Call after Close, or accept
 // slightly stale values mid-run.
 func (n *Network) Stats() Stats {
-	n.mu.Lock()
-	depth := n.stats.MaxQueueDepth
-	n.mu.Unlock()
 	return Stats{
 		MessagesSent: atomic.LoadInt64(&n.stats.MessagesSent),
 		ItemsSent:    atomic.LoadInt64(&n.stats.ItemsSent),
@@ -342,7 +472,7 @@ func (n *Network) Stats() Stats {
 			atomic.LoadInt64(&n.stats.BytesByTier[2]),
 			atomic.LoadInt64(&n.stats.BytesByTier[3]),
 		},
-		MaxQueueDepth: depth,
+		MaxQueueDepth: n.maxDepth.Load(),
 		Dropped:       atomic.LoadInt64(&n.stats.Dropped),
 	}
 }

@@ -266,8 +266,96 @@ func TestDropFilter(t *testing.T) {
 	if s.Dropped != 10 {
 		t.Errorf("Dropped = %d, want 10", s.Dropped)
 	}
-	if s.MessagesSent != 20 {
-		t.Errorf("MessagesSent = %d, want 20 (drops still count as sends)", s.MessagesSent)
+	if s.MessagesSent != 10 {
+		t.Errorf("MessagesSent = %d, want 10 (dropped messages are not traffic)", s.MessagesSent)
+	}
+}
+
+// Regression: a message counts toward MessagesSent/ItemsSent/BytesByTier
+// only when it is actually enqueued. Dropped sends count only as Dropped,
+// and sends on a closed network count as nothing.
+func TestStatsCountOnlyEnqueuedMessages(t *testing.T) {
+	topo := PaperNode(2)
+	n, err := NewNetwork(topo, ZeroLatency(), func(int, any) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetDropFilter(func(src, dst, size int) bool { return dst == 1 })
+	n.Send(0, 1, nil, 7)   // dropped
+	n.Send(0, 6, nil, 20)  // delivered, intra-node
+	n.Send(0, 48, nil, 30) // delivered, inter-node
+	n.Close()
+	n.Send(0, 6, nil, 100) // post-close: no-op, no stats
+	s := n.Stats()
+	if s.MessagesSent != 2 || s.ItemsSent != 50 {
+		t.Errorf("MessagesSent=%d ItemsSent=%d, want 2 and 50", s.MessagesSent, s.ItemsSent)
+	}
+	if s.Dropped != 1 {
+		t.Errorf("Dropped = %d, want 1", s.Dropped)
+	}
+	var total int64
+	for _, b := range s.BytesByTier {
+		total += b
+	}
+	if total != 50 {
+		t.Errorf("sum(BytesByTier) = %d, want 50 (dropped/post-close sizes leaked in)", total)
+	}
+	if s.BytesByTier[TierNode] != 20 || s.BytesByTier[TierMachine] != 30 {
+		t.Errorf("tier bytes = %v", s.BytesByTier)
+	}
+}
+
+// TestNetworkFIFOPerPairSharded drives many concurrent sources into many
+// destinations and asserts that per-(src,dst) send order survives the
+// sharded lanes: each pair's payload sequence must arrive strictly
+// ascending even though lanes are independent and deadline ties are only
+// ordered within a lane.
+func TestNetworkFIFOPerPairSharded(t *testing.T) {
+	const (
+		numPEs = 8
+		per    = 300
+	)
+	type tagged struct{ src, seq int }
+	var mu sync.Mutex
+	lastSeen := map[[2]int]int{} // (src,dst) -> last seq delivered
+	violations := 0
+	n, err := NewNetwork(SingleNode(numPEs), LatencyModel{IntraProcess: 20 * time.Microsecond}, func(dst int, payload any) {
+		m := payload.(tagged)
+		mu.Lock()
+		key := [2]int{m.src, dst}
+		if prev, ok := lastSeen[key]; ok && m.seq <= prev {
+			violations++
+		}
+		lastSeen[key] = m.seq
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for src := 0; src < numPEs; src++ {
+		wg.Add(1)
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				n.Send(src, (src+i)%numPEs, tagged{src: src, seq: i}, 0)
+			}
+		}(src)
+	}
+	wg.Wait()
+	n.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if violations != 0 {
+		t.Errorf("%d per-(src,dst) FIFO violations under the sharded queue", violations)
+	}
+	var delivered int
+	for _, last := range lastSeen {
+		_ = last
+		delivered++
+	}
+	if delivered != numPEs*numPEs {
+		t.Errorf("saw %d (src,dst) pairs, want %d", delivered, numPEs*numPEs)
 	}
 }
 

@@ -6,17 +6,20 @@ import (
 	"time"
 )
 
+// env wraps a sequence number in an envelope for queue tests.
+func env(i int) envelope { return envelope{kind: kindApp, epoch: int64(i)} }
+
 func TestMailboxFIFO(t *testing.T) {
 	m := newMailbox()
 	for i := 0; i < 100; i++ {
-		m.push(i)
+		m.push(env(i))
 	}
 	if m.len() != 100 {
 		t.Fatalf("len = %d", m.len())
 	}
 	for i := 0; i < 100; i++ {
 		v, ok := m.tryPop()
-		if !ok || v.(int) != i {
+		if !ok || v.epoch != int64(i) {
 			t.Fatalf("pop %d: got %v ok=%v", i, v, ok)
 		}
 	}
@@ -27,7 +30,7 @@ func TestMailboxFIFO(t *testing.T) {
 
 func TestMailboxBlockingPop(t *testing.T) {
 	m := newMailbox()
-	done := make(chan any, 1)
+	done := make(chan envelope, 1)
 	go func() {
 		v, _ := m.pop()
 		done <- v
@@ -37,10 +40,10 @@ func TestMailboxBlockingPop(t *testing.T) {
 		t.Fatal("pop returned before push")
 	case <-time.After(5 * time.Millisecond):
 	}
-	m.push("hello")
+	m.push(env(42))
 	select {
 	case v := <-done:
-		if v != "hello" {
+		if v.epoch != 42 {
 			t.Fatalf("got %v", v)
 		}
 	case <-time.After(time.Second):
@@ -69,13 +72,13 @@ func TestMailboxCloseWakesConsumer(t *testing.T) {
 
 func TestMailboxDrainsBeforeCloseReturnsFalse(t *testing.T) {
 	m := newMailbox()
-	m.push(1)
-	m.push(2)
+	m.push(env(1))
+	m.push(env(2))
 	m.close()
-	if v, ok := m.pop(); !ok || v.(int) != 1 {
+	if v, ok := m.pop(); !ok || v.epoch != 1 {
 		t.Fatal("first item lost after close")
 	}
-	if v, ok := m.pop(); !ok || v.(int) != 2 {
+	if v, ok := m.pop(); !ok || v.epoch != 2 {
 		t.Fatal("second item lost after close")
 	}
 	if _, ok := m.pop(); ok {
@@ -86,23 +89,34 @@ func TestMailboxDrainsBeforeCloseReturnsFalse(t *testing.T) {
 func TestMailboxPushAfterCloseDropped(t *testing.T) {
 	m := newMailbox()
 	m.close()
-	m.push(1)
+	m.push(env(1))
 	if m.len() != 0 {
 		t.Error("push after close was stored")
 	}
+	if _, ok := m.tryPop(); ok {
+		t.Error("push after close was observable")
+	}
 }
 
-func TestMailboxCompaction(t *testing.T) {
-	// Interleaved push/pop far past the compaction threshold must neither
-	// lose nor reorder items.
+// TestMailboxSwapDrainOrder exercises the two-slice swap drain directly:
+// bursts of pushes interleaved with partial drains, across many swap
+// cycles, must neither lose nor reorder items, and a final drain must
+// return the remainder in order.
+func TestMailboxSwapDrainOrder(t *testing.T) {
 	m := newMailbox()
 	next := 0
-	for i := 0; i < 10000; i++ {
-		m.push(i)
-		if i%2 == 1 {
+	pushed := 0
+	for round := 0; round < 200; round++ {
+		// Push a burst, drain roughly half — leaves the consumer slice
+		// partially consumed across the next swap.
+		for j := 0; j < 37; j++ {
+			m.push(env(pushed))
+			pushed++
+		}
+		for j := 0; j < 18; j++ {
 			v, ok := m.tryPop()
-			if !ok || v.(int) != next {
-				t.Fatalf("at %d: got %v, want %d", i, v, next)
+			if !ok || v.epoch != int64(next) {
+				t.Fatalf("round %d: got %v ok=%v, want %d", round, v, ok, next)
 			}
 			next++
 		}
@@ -112,17 +126,23 @@ func TestMailboxCompaction(t *testing.T) {
 		if !ok {
 			break
 		}
-		if v.(int) != next {
-			t.Fatalf("drain: got %v, want %d", v, next)
+		if v.epoch != int64(next) {
+			t.Fatalf("final drain: got %v, want %d", v, next)
 		}
 		next++
 	}
-	if next != 10000 {
-		t.Fatalf("drained %d items, want 10000", next)
+	if next != pushed {
+		t.Fatalf("drained %d items, want %d", next, pushed)
+	}
+	if m.len() != 0 {
+		t.Fatalf("len = %d after full drain", m.len())
 	}
 }
 
-func TestMailboxConcurrentProducers(t *testing.T) {
+// TestMailboxConcurrentProducersFIFO checks the MPSC contract under the
+// race detector: items from each producer arrive in that producer's send
+// order (per-producer FIFO), with nothing lost or duplicated.
+func TestMailboxConcurrentProducersFIFO(t *testing.T) {
 	m := newMailbox()
 	const producers, per = 8, 1000
 	var wg sync.WaitGroup
@@ -131,21 +151,87 @@ func TestMailboxConcurrentProducers(t *testing.T) {
 		go func(p int) {
 			defer wg.Done()
 			for i := 0; i < per; i++ {
-				m.push(p*per + i)
+				m.push(env(p*per + i))
 			}
 		}(p)
 	}
-	got := make(map[int]bool)
-	for len(got) < producers*per {
+	seen := 0
+	lastFrom := make([]int, producers)
+	for i := range lastFrom {
+		lastFrom[i] = -1
+	}
+	for seen < producers*per {
 		v, ok := m.pop()
 		if !ok {
 			t.Fatal("mailbox closed unexpectedly")
 		}
-		iv := v.(int)
-		if got[iv] {
-			t.Fatalf("duplicate item %d", iv)
+		p, i := int(v.epoch)/per, int(v.epoch)%per
+		if i <= lastFrom[p] {
+			t.Fatalf("producer %d: item %d arrived after %d", p, i, lastFrom[p])
 		}
-		got[iv] = true
+		if i != lastFrom[p]+1 {
+			t.Fatalf("producer %d: item %d skipped %d", p, i, lastFrom[p]+1)
+		}
+		lastFrom[p] = i
+		seen++
 	}
 	wg.Wait()
+}
+
+// TestMailboxCloseRace closes the mailbox while producers are pushing and
+// a consumer is draining; after pop reports closed-and-drained, len must
+// be stable at zero and further pushes must be dropped. Run under -race.
+func TestMailboxCloseRace(t *testing.T) {
+	m := newMailbox()
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for p := 0; p < 4; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				m.push(env(i))
+				i++
+			}
+		}(p)
+	}
+	consumed := 0
+	deadline := time.After(50 * time.Millisecond)
+drain:
+	for {
+		select {
+		case <-deadline:
+			break drain
+		default:
+		}
+		if _, ok := m.tryPop(); ok {
+			consumed++
+		}
+	}
+	m.close()
+	close(stop)
+	wg.Wait()
+	// Drain whatever was accepted before close; pop must terminate.
+	for {
+		if _, ok := m.pop(); !ok {
+			break
+		}
+		consumed++
+	}
+	if m.len() != 0 {
+		t.Fatalf("len = %d after close and drain", m.len())
+	}
+	m.push(env(1))
+	if m.len() != 0 {
+		t.Error("push after close stored an item")
+	}
+	if consumed == 0 {
+		t.Error("consumed nothing; test exercised nothing")
+	}
 }

@@ -101,6 +101,15 @@ type Runtime struct {
 	net *netsim.Network
 	pes []*PE
 
+	// zeroBase is a per-(src,dst) bitmap of pairs whose tier has zero base
+	// latency (Delay(tier, 0) == 0), precomputed so the fast-path check in
+	// send is a single bit load instead of a tier classification plus a
+	// latency-model evaluation per message. noPerItem caches whether the
+	// model charges per-item serialization; when it does, only size-0
+	// messages on a zero-base tier are truly free.
+	zeroBase  []uint64
+	noPerItem bool
+
 	sent      atomic.Int64 // messages sent (all kinds)
 	delivered atomic.Int64 // messages fully processed (all kinds)
 	idlePEs   atomic.Int64 // PEs currently blocked on an empty mailbox
@@ -119,6 +128,11 @@ type PE struct {
 	index   int
 	mbox    *mailbox
 	handler Handler
+
+	// Precomputed binary-tree fan-out for reductions and broadcasts:
+	// child PE ids (or -1) and how many contributions absorb expects.
+	childL, childR int
+	numChildren    int
 
 	reductions map[int64]*redState
 
@@ -165,10 +179,29 @@ func New(cfg Config) (*Runtime, error) {
 	numPEs := cfg.Topo.TotalPEs()
 	rt.pes = make([]*PE, numPEs)
 	for i := range rt.pes {
-		rt.pes[i] = &PE{rt: rt, index: i, mbox: newMailbox(), reductions: make(map[int64]*redState)}
+		pe := &PE{rt: rt, index: i, mbox: newMailbox(), reductions: make(map[int64]*redState)}
+		c1, c2, nc := treeChildren(i, numPEs)
+		pe.childL, pe.childR, pe.numChildren = -1, -1, nc
+		if c1 < numPEs {
+			pe.childL = c1
+		}
+		if c2 < numPEs {
+			pe.childR = c2
+		}
+		rt.pes[i] = pe
+	}
+	rt.noPerItem = cfg.Latency.PerItem == 0
+	rt.zeroBase = make([]uint64, (numPEs*numPEs+63)/64)
+	for src := 0; src < numPEs; src++ {
+		for dst := 0; dst < numPEs; dst++ {
+			if cfg.Latency.Delay(cfg.Topo.TierOf(src, dst), 0) == 0 {
+				idx := src*numPEs + dst
+				rt.zeroBase[idx>>6] |= 1 << (idx & 63)
+			}
+		}
 	}
 	net, err := netsim.NewNetwork(cfg.Topo, cfg.Latency, func(dst int, payload any) {
-		rt.pes[dst].mbox.push(payload)
+		rt.pes[dst].mbox.push(payload.(envelope))
 	})
 	if err != nil {
 		return nil, err
@@ -261,10 +294,13 @@ func (rt *Runtime) Inject(dst int, msg any) {
 // send routes an envelope through the simulated network, or directly into
 // the destination mailbox when the modeled delay is zero (keeping the
 // single dispatcher goroutine off the critical path of shared-memory runs).
+// The zero-delay decision is one bitmap load: the bit covers the tier's
+// base latency, and noPerItem/size==0 covers the serialization term, so
+// the outcome is identical to evaluating Delay(tier, size) == 0.
 func (rt *Runtime) send(src, dst int, env envelope, size int) {
 	rt.sent.Add(1)
-	tier := rt.cfg.Topo.TierOf(src, dst)
-	if rt.cfg.Latency.Delay(tier, size) == 0 {
+	idx := src*len(rt.pes) + dst
+	if rt.zeroBase[idx>>6]&(1<<(idx&63)) != 0 && (rt.noPerItem || size == 0) {
 		rt.pes[dst].mbox.push(env)
 		return
 	}
@@ -349,9 +385,7 @@ func treeChildren(i, n int) (int, int, int) {
 // absorb merges a contribution (local or from a child subtree) into the
 // epoch's reduction state, forwarding the partial up the tree when complete.
 func (pe *PE) absorb(epoch int64, value any) {
-	n := len(pe.rt.pes)
-	_, _, nChildren := treeChildren(pe.index, n)
-	expected := 1 + nChildren
+	expected := 1 + pe.numChildren
 	st := pe.reductions[epoch]
 	if st == nil {
 		st = &redState{}
@@ -381,24 +415,17 @@ func (pe *PE) absorb(epoch int64, value any) {
 }
 
 func (pe *PE) handleBroadcast(env envelope) {
-	n := len(pe.rt.pes)
-	c1, c2, _ := treeChildren(pe.index, n)
 	size := pe.rt.cfg.controlMsgSize()
-	if c1 < n {
-		pe.rt.send(pe.index, c1, env, size)
+	if pe.childL >= 0 {
+		pe.rt.send(pe.index, pe.childL, env, size)
 	}
-	if c2 < n {
-		pe.rt.send(pe.index, c2, env, size)
+	if pe.childR >= 0 {
+		pe.rt.send(pe.index, pe.childR, env, size)
 	}
 	pe.handler.OnBroadcast(pe, env.epoch, env.payload)
 }
 
-func (pe *PE) dispatch(msg any) {
-	env, ok := msg.(envelope)
-	if !ok {
-		// Defensive: everything entering mailboxes is an envelope.
-		panic(fmt.Sprintf("runtime: non-envelope message %T", msg))
-	}
+func (pe *PE) dispatch(env envelope) {
 	tr := pe.rt.cfg.Trace
 	switch env.kind {
 	case kindApp:

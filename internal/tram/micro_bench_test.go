@@ -1,0 +1,26 @@
+package tram
+
+import (
+	"testing"
+
+	"acic/internal/netsim"
+)
+
+// BenchmarkTramInsertFlush measures the steady-state cost of one insert on
+// the aggregation hot path, including the amortized cost of cutting a full
+// batch every `capacity` inserts and recycling its backing array the way a
+// receiver does after unpacking.
+func BenchmarkTramInsertFlush(b *testing.B) {
+	topo := netsim.SingleNode(8)
+	m, err := New[uint64](topo, WP, 512)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if batch := m.Insert(0, i&7, uint64(i)); batch != nil {
+			m.Release(batch.Items) // what a receiver does after unpacking
+		}
+	}
+}

@@ -94,6 +94,13 @@ type Manager[T any] struct {
 
 	sets []bufferSet[T]
 
+	// pool recycles the backing arrays of flushed batches: a receiver
+	// calls Release after unpacking a batch, and the next buffer that
+	// starts filling reuses that capacity instead of growing from nil.
+	// Pooled arrays keep stale items beyond their length until reused;
+	// that is fine for the small value-typed updates tram carries.
+	pool sync.Pool
+
 	inserts       atomic.Int64
 	autoFlushes   atomic.Int64
 	manualFlushes atomic.Int64
@@ -193,12 +200,37 @@ func (m *Manager[T]) Insert(srcPE, dstPE int, item T) *Batch[T] {
 		set.mu.Lock()
 		defer set.mu.Unlock()
 	}
+	if set.bufs[d] == nil {
+		set.bufs[d] = m.newBuf()
+	}
 	set.bufs[d] = append(set.bufs[d], item)
 	if len(set.bufs[d]) < m.cap {
 		return nil
 	}
 	m.autoFlushes.Add(1)
 	return m.cut(srcPE, set, d)
+}
+
+// newBuf returns an empty buffer with full batch capacity, recycled from
+// the pool when a receiver has Released one.
+func (m *Manager[T]) newBuf() []T {
+	if p, ok := m.pool.Get().(*[]T); ok {
+		return (*p)[:0]
+	}
+	return make([]T, 0, m.cap)
+}
+
+// Release returns a flushed batch's backing array to the manager so a
+// future buffer can reuse its capacity. Call it after fully unpacking
+// batch.Items; the slice must not be touched afterwards. Undersized slices
+// (e.g. re-bundled demux forwards) are ignored so the pool holds only
+// full-capacity arrays. Safe for concurrent use from any goroutine.
+func (m *Manager[T]) Release(items []T) {
+	if cap(items) < m.cap {
+		return
+	}
+	items = items[:0]
+	m.pool.Put(&items)
 }
 
 // cut removes and wraps the buffer at destination index d. Caller holds the

@@ -1,0 +1,97 @@
+#!/usr/bin/env bash
+# Hot-path benchmark harness.
+#
+# Protocol (see SNIPPETS.md, "Benchmark Validation Protocol"): build fresh,
+# run every benchmark RUNS times, and refuse to treat a number as meaningful
+# when the run-to-run spread exceeds VARIANCE_PCT — noisy results are
+# reported but flagged. Results land in a JSON file the next PR can diff
+# against.
+#
+# Usage: scripts/bench.sh [output.json]
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+OUT="${1:-bench_results.json}"
+RUNS=3
+VARIANCE_PCT=10
+
+# name | package | extra go test flags
+BENCHES=(
+  "BenchmarkMailbox/pingpong|./internal/runtime|"
+  "BenchmarkMailbox/burst64|./internal/runtime|"
+  "BenchmarkNetsimSend|./internal/netsim|"
+  "BenchmarkTramInsertFlush|./internal/tram|"
+  "BenchmarkHotPathSSSP|./internal/bench|-benchtime=10x"
+)
+
+echo "== fresh build =="
+go build ./...
+
+TMP="$(mktemp -d)"
+trap 'rm -rf "$TMP"' EXIT
+
+json_entries=()
+flagged_any=0
+
+for spec in "${BENCHES[@]}"; do
+  IFS='|' read -r name pkg extra <<<"$spec"
+  # Anchor the pattern to the top-level benchmark function.
+  pattern="^${name%%/*}\$"
+  sub="${name#*/}"
+  [ "$sub" != "$name" ] && pattern="^${name%%/*}\$/^${sub}\$"
+
+  echo "== $name ($RUNS runs) =="
+  : >"$TMP/runs.txt"
+  for i in $(seq "$RUNS"); do
+    # shellcheck disable=SC2086
+    go test -run='^$' -bench="$pattern" -benchmem $extra "$pkg" \
+      | awk -v want="$name" '$1 ~ "^"want { print $3, $5, $7 }' >>"$TMP/runs.txt"
+  done
+
+  if [ "$(wc -l <"$TMP/runs.txt")" -ne "$RUNS" ]; then
+    echo "error: expected $RUNS result lines for $name" >&2
+    exit 1
+  fi
+
+  read -r mean spread bytes allocs flag <<<"$(awk -v pct="$VARIANCE_PCT" '
+    { ns[NR]=$1; sum+=$1; b=$2; a=$3 }
+    END {
+      mean = sum/NR
+      min = ns[1]; max = ns[1]
+      for (i=2; i<=NR; i++) { if (ns[i]<min) min=ns[i]; if (ns[i]>max) max=ns[i] }
+      spread = mean > 0 ? 100*(max-min)/mean : 0
+      printf "%.2f %.2f %d %d %d", mean, spread, b, a, (spread > pct)
+    }' "$TMP/runs.txt")"
+
+  runs_list="$(awk '{printf "%s%s", (NR>1?", ":""), $1}' "$TMP/runs.txt")"
+  if [ "$flag" -eq 1 ]; then
+    echo "   FLAGGED: ${spread}% run-to-run spread exceeds ${VARIANCE_PCT}% — do not trust ns/op"
+    flagged_any=1
+  else
+    echo "   ok: mean ${mean} ns/op, spread ${spread}%, ${bytes} B/op, ${allocs} allocs/op"
+  fi
+
+  json_entries+=("$(printf '    {"name": "%s", "runs_ns_per_op": [%s], "mean_ns_per_op": %s, "spread_pct": %s, "bytes_per_op": %s, "allocs_per_op": %s, "flagged": %s}' \
+    "$name" "$runs_list" "$mean" "$spread" "$bytes" "$allocs" "$([ "$flag" -eq 1 ] && echo true || echo false)")")
+done
+
+{
+  echo '{'
+  printf '  "go": "%s",\n' "$(go env GOVERSION)"
+  printf '  "commit": "%s",\n' "$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+  printf '  "runs_per_bench": %d,\n' "$RUNS"
+  printf '  "variance_threshold_pct": %d,\n' "$VARIANCE_PCT"
+  echo '  "benchmarks": ['
+  for i in "${!json_entries[@]}"; do
+    sep=','
+    [ "$i" -eq $((${#json_entries[@]} - 1)) ] && sep=''
+    printf '%s%s\n' "${json_entries[$i]}" "$sep"
+  done
+  echo '  ]'
+  echo '}'
+} >"$OUT"
+
+echo "== wrote $OUT =="
+[ "$flagged_any" -eq 1 ] && echo "note: at least one benchmark exceeded the variance threshold" >&2
+exit 0

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Repository CI gate: vet, build, full test suite, then the race detector
+# over the concurrency-heavy packages (messaging fabric + its main client).
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+echo "== go vet =="
+go vet ./...
+
+echo "== build + test =="
+go build ./...
+go test ./...
+
+echo "== race detector (runtime, netsim, tram, core) =="
+go test -race ./internal/runtime/... ./internal/netsim/... ./internal/tram/... ./internal/core/...
+
+echo "== ci green =="
