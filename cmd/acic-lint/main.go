@@ -1,0 +1,26 @@
+// Command acic-lint runs the project's invariant analyzers (see
+// internal/analysis and DESIGN.md "Codebase invariants") over package
+// patterns, exactly like a go/analysis multichecker:
+//
+//	go run ./cmd/acic-lint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 load failure. scripts/ci.sh runs it
+// as a gate on every push.
+package main
+
+import (
+	"acic/internal/analysis/detrand"
+	"acic/internal/analysis/locksend"
+	"acic/internal/analysis/multichecker"
+	"acic/internal/analysis/nogoroutine"
+	"acic/internal/analysis/releasecheck"
+)
+
+func main() {
+	multichecker.Main(
+		detrand.Analyzer,
+		locksend.Analyzer,
+		nogoroutine.Analyzer,
+		releasecheck.Analyzer,
+	)
+}

@@ -1,0 +1,72 @@
+// Package analysis is a self-contained reimplementation of the
+// golang.org/x/tools/go/analysis core: just enough of the Analyzer / Pass /
+// Diagnostic contract for ACIC's project-specific linters, built only on the
+// standard library so the module stays dependency-free.
+//
+// The analyzers under this directory enforce invariants the Go compiler
+// cannot see but the runtime's correctness depends on — pool discipline for
+// tram batches, wall-clock and rand hygiene in the deterministic-simulation
+// packages, no sends under locks, no raw goroutines outside the scheduler.
+// They are wired into CI through cmd/acic-lint (see scripts/ci.sh) and the
+// "Codebase invariants" section of DESIGN.md documents each rule.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one independent analysis pass, mirroring the x/tools
+// type of the same name so the analyzers read as standard go/analysis code.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and CLI output.
+	Name string
+	// Doc is the help text; the first line is the one-sentence summary.
+	Doc string
+	// Run applies the analyzer to one package.
+	Run func(*Pass) error
+}
+
+// Pass provides one analyzed package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer  *Analyzer
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report publishes one diagnostic.
+	Report func(Diagnostic)
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}
+
+// Diagnostic is one finding, bound to a source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// File returns the *ast.File of the pass that contains pos, or nil.
+func (p *Pass) File(pos token.Pos) *ast.File {
+	for _, f := range p.Files {
+		if f.FileStart <= pos && pos < f.FileEnd {
+			return f
+		}
+	}
+	return nil
+}
+
+// InTestFile reports whether pos lies in a _test.go file. The repo driver
+// only loads non-test files, but analysistest fixtures may include them and
+// several analyzers exempt test code explicitly.
+func (p *Pass) InTestFile(pos token.Pos) bool {
+	name := p.Fset.Position(pos).Filename
+	const suffix = "_test.go"
+	return len(name) >= len(suffix) && name[len(name)-len(suffix):] == suffix
+}

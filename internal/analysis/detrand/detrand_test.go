@@ -1,0 +1,62 @@
+package detrand_test
+
+import (
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"testing"
+
+	"acic/internal/analysis"
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/detrand"
+)
+
+func TestDetrand(t *testing.T) {
+	detrand.Packages["detrand_a"] = true
+	defer delete(detrand.Packages, "detrand_a")
+	analysistest.Run(t, "testdata", detrand.Analyzer, "detrand_a")
+}
+
+// TestSkipsUnlistedPackages runs the analyzer on a package full of
+// violations whose import path is not under enforcement: silence expected.
+func TestSkipsUnlistedPackages(t *testing.T) {
+	const src = `package x
+
+import "time"
+
+func f() time.Time {
+	time.Sleep(time.Millisecond)
+	return time.Now()
+}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "x.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{
+		Types: make(map[ast.Expr]types.TypeAndValue),
+		Defs:  make(map[*ast.Ident]types.Object),
+		Uses:  make(map[*ast.Ident]types.Object),
+	}
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	pkg, err := conf.Check("acic/internal/unlisted", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pass := &analysis.Pass{
+		Analyzer:  detrand.Analyzer,
+		Fset:      fset,
+		Files:     []*ast.File{file},
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report: func(d analysis.Diagnostic) {
+			t.Errorf("unexpected diagnostic in unlisted package: %s", d.Message)
+		},
+	}
+	if err := detrand.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,157 @@
+// Package load type-checks the module's packages for analysis, standing in
+// for golang.org/x/tools/go/packages without the dependency.
+//
+// Strategy: one `go list -export -deps -json` invocation enumerates the
+// pattern-matched packages plus their full dependency closure in dependency
+// order. Module packages are parsed and type-checked from source (the
+// analyzers need syntax); everything else — the standard library — is
+// imported from the compiler export data `go list -export` guarantees to
+// exist in the build cache, so loading needs no network and no GOPATH.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+)
+
+// Package is one type-checked module package with syntax.
+type Package struct {
+	Path      string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+	// Root is true when the package matched the load patterns itself (as
+	// opposed to being pulled in as a dependency of a match).
+	Root bool
+}
+
+// Result is the outcome of a Load: the shared fileset plus the module
+// packages in dependency order.
+type Result struct {
+	Fset     *token.FileSet
+	Packages []*Package
+}
+
+// listPkg mirrors the `go list -json` fields the loader consumes.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	GoFiles    []string
+	Export     string
+	Standard   bool
+	DepOnly    bool
+	Module     *struct{ Path string }
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns from dir and type-checks every module package in the
+// result. Dependencies resolve through build-cache export data.
+func Load(dir string, patterns []string) (*Result, error) {
+	args := append([]string{
+		"list", "-export", "-deps",
+		"-json=ImportPath,Dir,GoFiles,Export,Standard,DepOnly,Module,Error",
+	}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+
+	byPath := make(map[string]*listPkg)
+	var order []*listPkg
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		lp := p
+		byPath[lp.ImportPath] = &lp
+		order = append(order, &lp)
+	}
+
+	fset := token.NewFileSet()
+	checked := make(map[string]*types.Package)
+	exportImp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		p := byPath[path]
+		if p == nil || p.Export == "" {
+			return nil, fmt.Errorf("no export data for %q", path)
+		}
+		return os.Open(p.Export)
+	})
+	imp := importerFunc(func(path string) (*types.Package, error) {
+		if tp, ok := checked[path]; ok {
+			return tp, nil
+		}
+		return exportImp.Import(path)
+	})
+
+	res := &Result{Fset: fset}
+	for _, p := range order { // -deps emits dependencies before dependents
+		if p.Error != nil {
+			return nil, fmt.Errorf("%s: %s", p.ImportPath, p.Error.Err)
+		}
+		if p.Standard || p.Module == nil {
+			continue // imported from export data on demand
+		}
+		pkg, err := checkPackage(fset, p, imp)
+		if err != nil {
+			return nil, err
+		}
+		checked[p.ImportPath] = pkg.Types
+		res.Packages = append(res.Packages, pkg)
+	}
+	return res, nil
+}
+
+func checkPackage(fset *token.FileSet, p *listPkg, imp types.Importer) (*Package, error) {
+	var files []*ast.File
+	for _, name := range p.GoFiles {
+		f, err := parser.ParseFile(fset, filepath.Join(p.Dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	info := &types.Info{
+		Types:      make(map[ast.Expr]types.TypeAndValue),
+		Defs:       make(map[*ast.Ident]types.Object),
+		Uses:       make(map[*ast.Ident]types.Object),
+		Selections: make(map[*ast.SelectorExpr]*types.Selection),
+		Implicits:  make(map[ast.Node]types.Object),
+	}
+	conf := types.Config{Importer: imp}
+	tp, err := conf.Check(p.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+	}
+	return &Package{
+		Path:      p.ImportPath,
+		Dir:       p.Dir,
+		Files:     files,
+		Types:     tp,
+		TypesInfo: info,
+		Root:      !p.DepOnly,
+	}, nil
+}
+
+type importerFunc func(string) (*types.Package, error)
+
+func (f importerFunc) Import(path string) (*types.Package, error) { return f(path) }

@@ -1,0 +1,12 @@
+package locksend_test
+
+import (
+	"testing"
+
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/locksend"
+)
+
+func TestLockSend(t *testing.T) {
+	analysistest.Run(t, "testdata", locksend.Analyzer, "netsim", "tram", "locksend_a")
+}

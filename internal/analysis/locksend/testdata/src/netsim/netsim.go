@@ -1,0 +1,9 @@
+// Package netsim is a locksend fixture standing in for the real fabric: the
+// analyzer matches send APIs by (package last element, receiver, method).
+package netsim
+
+// Network mimics the fabric entry point.
+type Network struct{}
+
+// Send mimics the fabric send API.
+func (n *Network) Send(src, dst int, payload any, size int) {}

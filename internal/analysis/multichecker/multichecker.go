@@ -1,0 +1,117 @@
+// Package multichecker drives a set of analyzers over package patterns,
+// playing the role of golang.org/x/tools/go/analysis/multichecker for the
+// cmd/acic-lint binary.
+package multichecker
+
+import (
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"sort"
+
+	"acic/internal/analysis"
+	"acic/internal/analysis/load"
+)
+
+// Finding is one diagnostic with its analyzer and resolved position.
+type Finding struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+func (f Finding) String() string {
+	return fmt.Sprintf("%s: %s (%s)", f.Pos, f.Message, f.Analyzer)
+}
+
+// Run loads patterns from dir and applies every analyzer to each root
+// package (dependencies are type-checked but not analyzed). Findings come
+// back sorted by file position.
+func Run(dir string, patterns []string, analyzers []*analysis.Analyzer) ([]Finding, error) {
+	res, err := load.Load(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	var findings []Finding
+	for _, pkg := range res.Packages {
+		if !pkg.Root {
+			continue
+		}
+		for _, a := range analyzers {
+			pass := &analysis.Pass{
+				Analyzer:  a,
+				Fset:      res.Fset,
+				Files:     pkg.Files,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+			}
+			name := a.Name
+			pass.Report = func(d analysis.Diagnostic) {
+				findings = append(findings, Finding{
+					Analyzer: name,
+					Pos:      res.Fset.Position(d.Pos),
+					Message:  d.Message,
+				})
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %v", a.Name, pkg.Path, err)
+			}
+		}
+	}
+	sort.Slice(findings, func(i, j int) bool {
+		a, b := findings[i].Pos, findings[j].Pos
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Column < b.Column
+	})
+	return findings, nil
+}
+
+// Main is the CLI entry point: analyze the patterns given as arguments
+// (default ./...) in the current directory, print findings, and exit 0 when
+// clean, 1 on findings, 2 on load or internal errors.
+func Main(analyzers ...*analysis.Analyzer) {
+	os.Exit(cliMain(os.Args[1:], os.Stdout, os.Stderr, analyzers))
+}
+
+func cliMain(args []string, stdout, stderr io.Writer, analyzers []*analysis.Analyzer) int {
+	patterns := args
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	if len(patterns) == 1 && (patterns[0] == "-h" || patterns[0] == "-help" || patterns[0] == "--help") {
+		fmt.Fprintln(stdout, "usage: acic-lint [package patterns]")
+		fmt.Fprintln(stdout, "\nanalyzers:")
+		for _, a := range analyzers {
+			fmt.Fprintf(stdout, "  %-14s %s\n", a.Name, firstLine(a.Doc))
+		}
+		return 0
+	}
+	findings, err := Run(".", patterns, analyzers)
+	if err != nil {
+		fmt.Fprintln(stderr, "acic-lint:", err)
+		return 2
+	}
+	for _, f := range findings {
+		fmt.Fprintln(stdout, f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(stderr, "acic-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	return 0
+}
+
+func firstLine(s string) string {
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			return s[:i]
+		}
+	}
+	return s
+}

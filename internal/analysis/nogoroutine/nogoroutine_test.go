@@ -1,0 +1,14 @@
+package nogoroutine_test
+
+import (
+	"testing"
+
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/nogoroutine"
+)
+
+func TestNoGoroutine(t *testing.T) {
+	nogoroutine.Packages["nogoroutine_a"] = true
+	defer delete(nogoroutine.Packages, "nogoroutine_a")
+	analysistest.Run(t, "testdata", nogoroutine.Analyzer, "nogoroutine_a")
+}

@@ -1,0 +1,25 @@
+// Package nogoroutine_a is a nogoroutine fixture.
+package nogoroutine_a
+
+func spawn(f func()) {
+	go f() // want "raw go statement in runtime-managed package"
+}
+
+func spawnLit() {
+	go func() {}() // want "raw go statement in runtime-managed package"
+}
+
+// blessed is a sanctioned scheduler-internal spawn site.
+//
+//acic:allow-goroutine fixture: stands in for the PE scheduler loop
+func blessed(f func()) {
+	go f()
+}
+
+func blessedLine(f func()) {
+	go f() //acic:allow-goroutine fixture: sanctioned spawn
+}
+
+func fine(f func()) {
+	f()
+}

@@ -1,0 +1,671 @@
+// Package releasecheck enforces tram pool discipline: every function that
+// receives an unpacked tram batch slice must release it back to the manager
+// on every path before returning.
+//
+// The tram manager recycles the backing arrays of flushed batches through a
+// sync.Pool (tram.Manager.Release). A receiver that unpacks a batch and
+// forgets the Release leaks that capacity: the pool drains, every new
+// buffer allocates from scratch, and the steady-state zero-allocation
+// property of the messaging hot path silently disappears. The leak is
+// invisible to tests (nothing breaks — it is only slower), which is exactly
+// what a static check is for.
+//
+// Detection is type-driven, in three steps per package:
+//
+//  1. Carrier fields. A struct field assigned from a tram Batch's Items
+//     (e.g. batchMsg{items: batch.Items}) marks that field as carrying a
+//     pooled array across the runtime.
+//  2. Batch values. Reading a carrier field produces a batch value; passing
+//     one to a same-package function marks the receiving parameter as a
+//     batch value too (iterated to a fixed point), which is how the
+//     conventional Deliver -> receiveBatch(pe, m.items) hand-off is
+//     followed.
+//  3. Obligation check. For each function holding a batch value, every
+//     control-flow path to a return must discharge the obligation: call
+//     Manager.Release with the value, hand the value wholesale to another
+//     function (ownership transfer — e.g. re-sending it), store it, or
+//     return it. A path that can fall off the end or return without any of
+//     those is reported.
+//
+// Per-element reads (ranging, indexing, len/cap) do not discharge: they are
+// precisely the "unpack" whose completion must be followed by Release.
+// //acic:allow-unreleased suppresses a finding (e.g. a deliberate
+// keep-alive), with a justification comment.
+package releasecheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"acic/internal/analysis"
+)
+
+// Directive is the escape hatch recognized by this analyzer.
+const Directive = "allow-unreleased"
+
+// Analyzer is the releasecheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "releasecheck",
+	Doc: "require tram batches to be released on every path\n\n" +
+		"a receiver that unpacks a tram batch must return its backing array\n" +
+		"to the pool (Manager.Release) or hand it on; leaks silently disable\n" +
+		"buffer recycling.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	carriers := findCarrierFields(pass)
+	if len(carriers) == 0 {
+		return nil
+	}
+	decls := funcDecls(pass)
+	params := markBatchParams(pass, carriers, decls)
+	dirs := analysis.FileDirectives(pass)
+
+	for fn, idxs := range params {
+		decl := decls[fn]
+		for _, idx := range idxs {
+			obj := paramObj(pass, decl, idx)
+			if obj == nil {
+				continue
+			}
+			c := &checker{pass: pass, dirs: dirs, fn: decl, v: obj}
+			c.check()
+		}
+	}
+	// Functions that consume a carrier-field read in place (range/index on
+	// m.items directly) rather than passing it on.
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil {
+				continue
+			}
+			for _, sel := range inPlaceConsumed(pass, decl, carriers) {
+				c := &checker{pass: pass, dirs: dirs, fn: decl, sel: sel}
+				c.check()
+			}
+		}
+	}
+	return nil
+}
+
+// tramPackage reports whether path is the tram package (or a fixture
+// standing in for it).
+func tramPackage(path string) bool {
+	return path == "tram" || strings.HasSuffix(path, "/tram")
+}
+
+// isBatchItems reports whether sel reads the Items field of a tram Batch.
+func isBatchItems(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	if sel.Sel.Name != "Items" {
+		return false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	t := tv.Type
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Name() != "Batch" || n.Obj().Pkg() == nil {
+		return false
+	}
+	return tramPackage(n.Obj().Pkg().Path())
+}
+
+// findCarrierFields returns the struct fields assigned from a Batch.Items
+// expression anywhere in the package.
+func findCarrierFields(pass *analysis.Pass) map[*types.Var]bool {
+	carriers := make(map[*types.Var]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			switch node := n.(type) {
+			case *ast.CompositeLit:
+				st, ok := structOf(pass, node)
+				if !ok {
+					return true
+				}
+				for i, elt := range node.Elts {
+					var value ast.Expr
+					var field *types.Var
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						value = kv.Value
+						if id, ok := kv.Key.(*ast.Ident); ok {
+							field, _ = pass.TypesInfo.Uses[id].(*types.Var)
+						}
+					} else {
+						value = elt
+						if i < st.NumFields() {
+							field = st.Field(i)
+						}
+					}
+					if field == nil {
+						continue
+					}
+					if sel, ok := ast.Unparen(value).(*ast.SelectorExpr); ok && isBatchItems(pass, sel) {
+						carriers[field] = true
+					}
+				}
+			case *ast.AssignStmt:
+				for i, lhs := range node.Lhs {
+					if i >= len(node.Rhs) {
+						break
+					}
+					rhs, ok := ast.Unparen(node.Rhs[i]).(*ast.SelectorExpr)
+					if !ok || !isBatchItems(pass, rhs) {
+						continue
+					}
+					lsel, ok := ast.Unparen(lhs).(*ast.SelectorExpr)
+					if !ok {
+						continue
+					}
+					if f, ok := pass.TypesInfo.Uses[lsel.Sel].(*types.Var); ok && f.IsField() {
+						carriers[f] = true
+					}
+				}
+			}
+			return true
+		})
+	}
+	return carriers
+}
+
+func structOf(pass *analysis.Pass, lit *ast.CompositeLit) (*types.Struct, bool) {
+	tv, ok := pass.TypesInfo.Types[lit]
+	if !ok {
+		return nil, false
+	}
+	st, ok := tv.Type.Underlying().(*types.Struct)
+	return st, ok
+}
+
+// funcDecls indexes this package's function declarations by their object.
+func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
+	decls := make(map[*types.Func]*ast.FuncDecl)
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok {
+				if fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func); ok {
+					decls[fn] = fd
+				}
+			}
+		}
+	}
+	return decls
+}
+
+// isCarrierRead reports whether e reads a carrier field.
+func isCarrierRead(pass *analysis.Pass, carriers map[*types.Var]bool, e ast.Expr) bool {
+	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	return ok && carriers[f]
+}
+
+// markBatchParams finds, to a fixed point, parameters of same-package
+// functions that receive a batch value: either a carrier-field read or an
+// already-marked parameter passed wholesale.
+func markBatchParams(pass *analysis.Pass, carriers map[*types.Var]bool, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]int {
+	marked := make(map[*types.Func]map[int]bool)
+	markedVars := make(map[*types.Var]bool)
+	for {
+		changed := false
+		for _, file := range pass.Files {
+			ast.Inspect(file, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				fn := calleeFunc(pass, call)
+				if fn == nil {
+					return true
+				}
+				decl, ok := decls[fn]
+				if !ok || decl.Body == nil {
+					return true
+				}
+				for i, arg := range call.Args {
+					isBatch := isCarrierRead(pass, carriers, arg)
+					if !isBatch {
+						if id, ok := ast.Unparen(arg).(*ast.Ident); ok {
+							if v, ok := pass.TypesInfo.Uses[id].(*types.Var); ok && markedVars[v] {
+								isBatch = true
+							}
+						}
+					}
+					if !isBatch {
+						continue
+					}
+					if marked[fn] == nil {
+						marked[fn] = make(map[int]bool)
+					}
+					if !marked[fn][i] {
+						marked[fn][i] = true
+						changed = true
+						if obj := paramObj(pass, decl, i); obj != nil {
+							markedVars[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+		if !changed {
+			break
+		}
+	}
+	out := make(map[*types.Func][]int)
+	for fn, idxs := range marked {
+		for i := range idxs {
+			out[fn] = append(out[fn], i)
+		}
+	}
+	return out
+}
+
+// paramObj resolves parameter index i of decl to its variable, skipping
+// variadic and out-of-range indices.
+func paramObj(pass *analysis.Pass, decl *ast.FuncDecl, i int) *types.Var {
+	n := 0
+	for _, field := range decl.Type.Params.List {
+		names := field.Names
+		if len(names) == 0 {
+			n++ // unnamed parameter occupies a slot
+			continue
+		}
+		for _, name := range names {
+			if n == i {
+				v, _ := pass.TypesInfo.Defs[name].(*types.Var)
+				return v
+			}
+			n++
+		}
+	}
+	return nil
+}
+
+// inPlaceConsumed returns the carrier-field reads that decl unpacks
+// directly (range or index base) without going through a parameter.
+func inPlaceConsumed(pass *analysis.Pass, decl *ast.FuncDecl, carriers map[*types.Var]bool) []*ast.SelectorExpr {
+	seen := make(map[string]bool)
+	var out []*ast.SelectorExpr
+	add := func(e ast.Expr) {
+		sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
+		if !ok || !isCarrierRead(pass, carriers, sel) {
+			return
+		}
+		key := types.ExprString(sel)
+		if !seen[key] {
+			seen[key] = true
+			out = append(out, sel)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.RangeStmt:
+			add(node.X)
+		case *ast.IndexExpr:
+			add(node.X)
+		}
+		return true
+	})
+	return out
+}
+
+// checker verifies one obligation: batch value v (a parameter) or sel (a
+// carrier-field selector) must be discharged on every path through fn.
+type checker struct {
+	pass *analysis.Pass
+	dirs *analysis.PkgDirectives
+	fn   *ast.FuncDecl
+	v    *types.Var        // parameter form, or
+	sel  *ast.SelectorExpr // selector form (canonical spelling)
+	root *types.Var        // selector form: the base variable of sel
+}
+
+func (c *checker) name() string {
+	if c.v != nil {
+		return c.v.Name()
+	}
+	return types.ExprString(c.sel)
+}
+
+func (c *checker) check() {
+	list := c.fn.Body.List
+	end := c.fn.Body.Rbrace
+	if c.sel != nil {
+		c.root = rootVar(c.pass, c.sel)
+		// A batch read through a function-local variable (e.g. the implicit
+		// var of a type-switch case) only exists within that variable's
+		// scope: check the obligation there, not across paths that never
+		// saw a batch.
+		if c.root != nil && c.root.Parent() != nil && c.fn.Body.Pos() <= c.root.Pos() && c.root.Pos() < c.fn.Body.End() {
+			if l, e := scopeStmts(c.fn.Body, c.root.Parent()); l != nil {
+				list, end = l, e
+			}
+		}
+	}
+	done, terminated := c.walk(list, false)
+	if !done && !terminated {
+		c.report(end)
+	}
+}
+
+// rootVar unwraps a selector chain to its base identifier's variable.
+func rootVar(pass *analysis.Pass, sel *ast.SelectorExpr) *types.Var {
+	e := ast.Unparen(sel.X)
+	for {
+		if s, ok := e.(*ast.SelectorExpr); ok {
+			e = ast.Unparen(s.X)
+			continue
+		}
+		break
+	}
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// scopeStmts finds the smallest statement list in body that spans scope,
+// returning it and the position of its end.
+func scopeStmts(body *ast.BlockStmt, scope *types.Scope) ([]ast.Stmt, token.Pos) {
+	var list []ast.Stmt
+	var end token.Pos
+	bestSpan := token.Pos(-1)
+	consider := func(n ast.Node, stmts []ast.Stmt, e token.Pos) {
+		if n.Pos() <= scope.Pos() && scope.End() <= n.End() {
+			span := n.End() - n.Pos()
+			if bestSpan < 0 || span < bestSpan {
+				bestSpan, list, end = span, stmts, e
+			}
+		}
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch node := n.(type) {
+		case *ast.BlockStmt:
+			consider(node, node.List, node.Rbrace)
+		case *ast.CaseClause:
+			consider(node, node.Body, node.End())
+		case *ast.CommClause:
+			consider(node, node.Body, node.End())
+		}
+		return true
+	})
+	return list, end
+}
+
+func (c *checker) report(pos token.Pos) {
+	if c.dirs.Allowed(Directive, pos) || c.dirs.Allowed(Directive, c.fn.Pos()) {
+		return
+	}
+	c.pass.Reportf(pos,
+		"tram batch %q may not be released on this path: call Manager.Release after unpacking (or hand the batch on), or annotate //acic:allow-unreleased",
+		c.name())
+}
+
+// matches reports whether e denotes the tracked batch value.
+func (c *checker) matches(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if c.v != nil {
+		id, ok := e.(*ast.Ident)
+		return ok && c.pass.TypesInfo.Uses[id] == c.v
+	}
+	sel, ok := e.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	if types.ExprString(sel) != types.ExprString(c.sel) ||
+		c.pass.TypesInfo.Uses[sel.Sel] != c.pass.TypesInfo.Uses[c.sel.Sel] {
+		return false
+	}
+	// Same spelling in a different scope (e.g. the case var of another
+	// type-switch clause) is a different value.
+	if c.root != nil {
+		return rootVar(c.pass, sel) == c.root
+	}
+	return true
+}
+
+// dischargesExpr reports whether expression e contains a discharge of the
+// obligation: a Release call, an ownership-transferring call argument, a
+// store into a composite literal, or a send.
+func (c *checker) dischargesExpr(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch node := n.(type) {
+		case *ast.FuncLit:
+			return false // closures run later; not a discharge here
+		case *ast.CallExpr:
+			if c.callDischarges(node) {
+				found = true
+				return false
+			}
+		case *ast.CompositeLit:
+			for _, elt := range node.Elts {
+				v := elt
+				if kv, ok := elt.(*ast.KeyValueExpr); ok {
+					v = kv.Value
+				}
+				if c.matches(v) {
+					found = true // stored: ownership moved into the literal
+					return false
+				}
+			}
+		}
+		return true
+	})
+	return found
+}
+
+// callDischarges reports whether one call discharges the obligation.
+func (c *checker) callDischarges(call *ast.CallExpr) bool {
+	// Builtins (len, cap, append, ...) only observe the value or copy its
+	// elements; they do not take ownership.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+		if _, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
+			return false
+		}
+	}
+	for _, arg := range call.Args {
+		if c.matches(arg) {
+			return true // Release, forwarding, or any wholesale hand-off
+		}
+	}
+	return false
+}
+
+// walk processes a statement list. done is whether the obligation is
+// already discharged on entry. It returns the discharge state at the end of
+// the list and whether every path through the list terminates (returns).
+func (c *checker) walk(list []ast.Stmt, done bool) (bool, bool) {
+	for _, s := range list {
+		var term bool
+		done, term = c.stmt(s, done)
+		if term {
+			return done, true
+		}
+	}
+	return done, false
+}
+
+func (c *checker) stmt(s ast.Stmt, done bool) (bool, bool) {
+	switch st := s.(type) {
+	case *ast.ReturnStmt:
+		for _, r := range st.Results {
+			if c.matches(r) || c.dischargesExpr(r) {
+				done = true
+			}
+		}
+		if !done {
+			c.report(st.Pos())
+		}
+		return true, true
+	case *ast.DeferStmt:
+		// defer tm.Release(v) (or a closure doing so) covers every return
+		// after this point.
+		if c.callDischarges(st.Call) {
+			return true, false
+		}
+		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
+			litDone, _ := c.walk(lit.Body.List, false)
+			if litDone {
+				return true, false
+			}
+		}
+		return done, false
+	case *ast.BlockStmt:
+		return c.walk(st.List, done)
+	case *ast.IfStmt:
+		if st.Init != nil {
+			done, _ = c.stmt(st.Init, done)
+		}
+		if c.dischargesExpr(st.Cond) {
+			done = true
+		}
+		tDone, tTerm := c.walk(st.Body.List, done)
+		eDone, eTerm := done, false
+		if st.Else != nil {
+			eDone, eTerm = c.stmt(st.Else, done)
+		}
+		switch {
+		case tTerm && eTerm:
+			return done, true
+		case tTerm:
+			return eDone, false
+		case eTerm:
+			return tDone, false
+		default:
+			return tDone && eDone, false
+		}
+	case *ast.ForStmt, *ast.RangeStmt:
+		var body *ast.BlockStmt
+		if f, ok := st.(*ast.ForStmt); ok {
+			body = f.Body
+		} else {
+			body = st.(*ast.RangeStmt).Body
+		}
+		// The body may execute zero times: discharges inside do not
+		// propagate past the loop, but missing discharges at returns inside
+		// are still checked.
+		c.walk(body.List, done)
+		return done, false
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
+		var body *ast.BlockStmt
+		if sw, ok := st.(*ast.SwitchStmt); ok {
+			body = sw.Body
+		} else {
+			body = st.(*ast.TypeSwitchStmt).Body
+		}
+		allDone, allTerm, hasDefault := true, true, false
+		for _, cl := range body.List {
+			cc := cl.(*ast.CaseClause)
+			if cc.List == nil {
+				hasDefault = true
+			}
+			d, t := c.walk(cc.Body, done)
+			if !t {
+				allTerm = false
+				allDone = allDone && d
+			}
+		}
+		if !hasDefault {
+			allTerm = false
+			allDone = allDone && done
+		}
+		if allTerm && hasDefault {
+			return done, true
+		}
+		return allDone, false
+	case *ast.SelectStmt:
+		allDone, allTerm := true, true
+		for _, cl := range st.Body.List {
+			cc := cl.(*ast.CommClause)
+			d, t := c.walk(cc.Body, done)
+			if !t {
+				allTerm = false
+				allDone = allDone && d
+			}
+		}
+		if allTerm {
+			return done, true
+		}
+		return allDone, false
+	case *ast.LabeledStmt:
+		return c.stmt(st.Stmt, done)
+	case *ast.BranchStmt:
+		// break/continue/goto leave this statement list; treat the path as
+		// ended here (any later return is checked at its own level).
+		return done, true
+	case *ast.ExprStmt:
+		if c.dischargesExpr(st.X) {
+			return true, false
+		}
+		return done, false
+	case *ast.AssignStmt:
+		for i, r := range st.Rhs {
+			if c.dischargesExpr(r) {
+				return true, false
+			}
+			if c.matches(r) && !(i < len(st.Lhs) && isBlank(st.Lhs[i])) {
+				return true, false // stored or re-bound: ownership moved
+			}
+		}
+		return done, false
+	case *ast.SendStmt:
+		if c.matches(st.Value) || c.dischargesExpr(st.Value) {
+			return true, false
+		}
+		return done, false
+	case *ast.GoStmt:
+		if c.callDischarges(st.Call) {
+			return true, false
+		}
+		return done, false
+	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
+		found := false
+		ast.Inspect(s, func(n ast.Node) bool {
+			if e, ok := n.(ast.Expr); ok && c.dischargesExpr(e) {
+				found = true
+				return false
+			}
+			return true
+		})
+		if found {
+			return true, false
+		}
+		return done, false
+	}
+	return done, false
+}
+
+func isBlank(e ast.Expr) bool {
+	id, ok := ast.Unparen(e).(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch f := call.Fun.(type) {
+	case *ast.Ident:
+		id = f
+	case *ast.SelectorExpr:
+		id = f.Sel
+	default:
+		return nil
+	}
+	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
+	return fn
+}

@@ -1,0 +1,12 @@
+package releasecheck_test
+
+import (
+	"testing"
+
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/releasecheck"
+)
+
+func TestReleaseCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", releasecheck.Analyzer, "tram", "releasecheck_a")
+}

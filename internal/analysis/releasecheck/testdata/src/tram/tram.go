@@ -1,0 +1,17 @@
+// Package tram is a releasecheck fixture standing in for the real
+// aggregation manager: the analyzer matches Batch/Manager by (package last
+// element, type name).
+package tram
+
+// Batch mimics a flushed buffer.
+type Batch[T any] struct {
+	SrcPE  int
+	DestPE int
+	Items  []T
+}
+
+// Manager mimics the buffering policy with its pool.
+type Manager[T any] struct{}
+
+// Release mimics returning a batch's backing array to the pool.
+func (m *Manager[T]) Release(items []T) {}

@@ -50,6 +50,9 @@ func (h *workHandler) Deliver(pe *runtime.PE, msg any) {
 	}
 }
 
+// Idle busy-spins for one method duration to occupy the PE.
+//
+//acic:allow-wallclock the benchmark measures real method occupancy, so the spin must read the wall clock
 func (h *workHandler) Idle(pe *runtime.PE) bool {
 	deadline := time.Now().Add(h.methodDuration)
 	for time.Now().Before(deadline) {

@@ -1,0 +1,24 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"acic/internal/graph"
+	"acic/internal/simclock"
+)
+
+// TestFakeClockElapsed pins the run driver's timing to Options.Clock: with a
+// fake clock that never advances, Stats.Elapsed must be exactly zero no
+// matter how long the run really took.
+func TestFakeClockElapsed(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1}, {From: 0, To: 2, Weight: 4},
+		{From: 1, To: 2, Weight: 2}, {From: 1, To: 3, Weight: 6},
+		{From: 2, To: 3, Weight: 3},
+	})
+	res := runAndVerify(t, g, 0, Options{Clock: simclock.NewFake(time.Unix(0, 0))})
+	if res.Stats.Elapsed != 0 {
+		t.Errorf("Elapsed = %v with a frozen fake clock, want 0", res.Stats.Elapsed)
+	}
+}

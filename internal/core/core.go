@@ -27,6 +27,7 @@ import (
 
 	"acic/internal/histogram"
 	"acic/internal/netsim"
+	"acic/internal/simclock"
 	"acic/internal/trace"
 	"acic/internal/tram"
 )
@@ -160,6 +161,8 @@ type Options struct {
 	// Trace, when non-nil, records per-PE scheduling events for post-run
 	// analysis (see internal/trace). It must cover Topo.TotalPEs() PEs.
 	Trace *trace.Recorder
+	// Clock times the run for Stats.Elapsed; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 // Stats aggregates the measurements the paper reports.

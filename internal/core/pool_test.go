@@ -1,0 +1,34 @@
+package core
+
+import (
+	"testing"
+
+	"acic/internal/gen"
+	"acic/internal/netsim"
+	"acic/internal/tram"
+)
+
+// TestPoolDiscipline is the dynamic counterpart of the releasecheck
+// analyzer: over a full SSSP run, every tram buffer issued must come back
+// through Release exactly once. WW mode delivers each batch directly to its
+// destination PE (no demux re-bundling into undersized slices), so the
+// pool's get and put counters must balance at quiescence; a dropped Release
+// anywhere in the receive path shows up as gets > puts.
+func TestPoolDiscipline(t *testing.T) {
+	g := gen.Uniform(1500, 12000, gen.Config{Seed: 21})
+	p := DefaultParams()
+	p.TramMode = tram.WW
+	p.TramCapacity = 64 // small buffers: many batches cycle through the pool
+	res := runAndVerify(t, g, 0, Options{Topo: netsim.SingleNode(6), Params: p})
+
+	ts := res.Stats.TramStats
+	if ts.PoolGets == 0 {
+		t.Fatal("no tram buffers were ever issued — test exercises nothing")
+	}
+	if ts.PoolGets != ts.PoolPuts {
+		t.Errorf("pool leak: %d buffers issued, %d released", ts.PoolGets, ts.PoolPuts)
+	}
+	if ts.PoolPuts < ts.Batches {
+		t.Errorf("released %d < batches %d: some batch was never released", ts.PoolPuts, ts.Batches)
+	}
+}

@@ -3,12 +3,12 @@ package core
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"acic/internal/graph"
 	"acic/internal/netsim"
 	"acic/internal/partition"
 	"acic/internal/runtime"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 )
 
@@ -63,7 +63,8 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return st
 	})
 
-	start := time.Now()
+	clk := simclock.Default(opts.Clock)
+	start := clk.Now()
 	// Seed the source relaxation, then pull every PE into the continuous
 	// reduction cycle.
 	rt.Inject(sh.part.Owner(int32(source)), seedMsg{source: int32(source)})
@@ -71,7 +72,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		rt.Inject(i, startMsg{})
 	}
 	rt.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	res := &Result{
 		Dist:   make([]float64, g.NumVertices()),

@@ -35,6 +35,7 @@ import (
 	"acic/internal/graph"
 	"acic/internal/netsim"
 	"acic/internal/partition"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 )
 
@@ -67,6 +68,8 @@ type Options struct {
 	Topo    netsim.Topology
 	Latency netsim.LatencyModel
 	Params  Params
+	// Clock times the run for Stats.Elapsed; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 // Stats mirrors deltastep.Stats plus grid shape.

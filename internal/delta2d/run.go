@@ -3,12 +3,12 @@ package delta2d
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"acic/internal/deltastep"
 	"acic/internal/netsim"
 	"acic/internal/partition"
 	"acic/internal/runtime"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 
 	"acic/internal/graph"
@@ -85,12 +85,13 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return st
 	})
 
-	start := time.Now()
+	clk := simclock.Default(opts.Clock)
+	start := clk.Now()
 	for i := 0; i < pes; i++ {
 		rt.Inject(i, startMsg{source: int32(source)})
 	}
 	rt.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	res := &Result{
 		Dist: make([]float64, g.NumVertices()),

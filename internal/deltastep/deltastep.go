@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"acic/internal/netsim"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 )
 
@@ -75,6 +76,8 @@ type Options struct {
 	Topo    netsim.Topology
 	Latency netsim.LatencyModel
 	Params  Params
+	// Clock times the run for Stats.Elapsed; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 // Stats mirrors core.Stats where meaningful so the harness can tabulate

@@ -3,12 +3,12 @@ package deltastep
 import (
 	"fmt"
 	"math"
-	"time"
 
 	"acic/internal/graph"
 	"acic/internal/netsim"
 	"acic/internal/partition"
 	"acic/internal/runtime"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 )
 
@@ -108,12 +108,13 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return st
 	})
 
-	start := time.Now()
+	clk := simclock.Default(opts.Clock)
+	start := clk.Now()
 	for i := 0; i < topo.TotalPEs(); i++ {
 		rt.Inject(i, startMsg{source: int32(source)})
 	}
 	rt.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	res := &Result{
 		Dist:  make([]float64, g.NumVertices()),

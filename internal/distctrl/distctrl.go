@@ -28,6 +28,7 @@ import (
 	"acic/internal/partition"
 	"acic/internal/pq"
 	"acic/internal/runtime"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 )
 
@@ -67,6 +68,8 @@ type Options struct {
 	Topo    netsim.Topology
 	Latency netsim.LatencyModel
 	Params  Params
+	// Clock times the run for Stats.Elapsed; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 // Stats reports the run's counters.
@@ -236,10 +239,11 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return st
 	})
 
-	start := time.Now()
+	clk := simclock.Default(opts.Clock)
+	start := clk.Now()
 	rt.Inject(sh.part.Owner(int32(source)), seedMsg{source: int32(source)})
 	rt.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	res := &Result{Dist: make([]float64, g.NumVertices()), Stats: Stats{Elapsed: elapsed}}
 	for peIdx, st := range states {

@@ -27,6 +27,7 @@ import (
 	"acic/internal/netsim"
 	"acic/internal/partition"
 	"acic/internal/runtime"
+	"acic/internal/simclock"
 	"acic/internal/tram"
 )
 
@@ -105,6 +106,8 @@ type Options struct {
 	Topo    netsim.Topology
 	Latency netsim.LatencyModel
 	Params  Params
+	// Clock times the run for Stats.Elapsed; nil means the wall clock.
+	Clock simclock.Clock
 }
 
 // Stats reports the run's counters.
@@ -393,12 +396,13 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return st
 	})
 
-	start := time.Now()
+	clk := simclock.Default(opts.Clock)
+	start := clk.Now()
 	for i := 0; i < topo.TotalPEs(); i++ {
 		rt.Inject(i, startMsg{source: int32(source)})
 	}
 	rt.Wait()
-	elapsed := time.Since(start)
+	elapsed := clk.Since(start)
 
 	res := &Result{Dist: make([]float64, g.NumVertices()), Stats: Stats{Elapsed: elapsed}}
 	root := states[0]

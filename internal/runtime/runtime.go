@@ -218,11 +218,14 @@ func (rt *Runtime) Start(factory func(pe *PE) Handler) {
 	}
 	for _, pe := range rt.pes {
 		rt.wg.Add(1)
+		//acic:allow-goroutine PE workers are the runtime's own threads of execution
 		go pe.run()
 	}
 	if rt.cfg.QuiescencePoll > 0 {
+		//acic:allow-goroutine the quiescence monitor is part of the runtime's lifecycle
 		go rt.quiescenceMonitor()
 	}
+	//acic:allow-goroutine done-channel closer joins the PE workers
 	go func() {
 		rt.wg.Wait()
 		close(rt.done)
@@ -465,6 +468,7 @@ func (pe *PE) run() {
 		if pe.workDebt >= workSleepThreshold {
 			d := pe.workDebt
 			pe.workDebt = 0
+			//acic:allow-wallclock paying off accumulated work debt is how simulated compute cost occupies real time
 			time.Sleep(d)
 			if tr != nil {
 				tr.Record(pe.index, trace.KindWorkSleep, int64(d))

@@ -1,0 +1,40 @@
+package simclock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestDefaultNilIsWall(t *testing.T) {
+	if _, ok := Default(nil).(Wall); !ok {
+		t.Fatalf("Default(nil) = %T, want Wall", Default(nil))
+	}
+	f := NewFake(time.Unix(100, 0))
+	if Default(f) != f {
+		t.Fatalf("Default(fake) did not return the fake clock")
+	}
+}
+
+func TestWallAdvances(t *testing.T) {
+	var w Wall
+	start := w.Now()
+	if d := w.Since(start); d < 0 {
+		t.Fatalf("Wall.Since went backwards: %v", d)
+	}
+}
+
+func TestFakeIsManual(t *testing.T) {
+	f := NewFake(time.Unix(1000, 0))
+	start := f.Now()
+	if d := f.Since(start); d != 0 {
+		t.Fatalf("fresh Fake.Since = %v, want 0", d)
+	}
+	f.Advance(250 * time.Millisecond)
+	if d := f.Since(start); d != 250*time.Millisecond {
+		t.Fatalf("Fake.Since after Advance = %v, want 250ms", d)
+	}
+	// Time does not move on its own.
+	if d := f.Since(start); d != 250*time.Millisecond {
+		t.Fatalf("Fake advanced without Advance: %v", d)
+	}
+}

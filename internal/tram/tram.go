@@ -84,6 +84,13 @@ type Stats struct {
 	ManualFlushes int64 // explicit flush calls that produced a batch
 	Batches       int64
 	Items         int64 // items carried by all batches
+	// PoolGets counts backing arrays issued to buffers (recycled or
+	// freshly allocated); PoolPuts counts arrays accepted back by Release.
+	// At quiescence every issued array has been flushed and released, so
+	// the two must match — the pool-discipline invariant releasecheck
+	// enforces statically and TestPoolDiscipline checks dynamically.
+	PoolGets int64
+	PoolPuts int64
 }
 
 // Manager implements the buffering policy for one simulated machine.
@@ -106,6 +113,8 @@ type Manager[T any] struct {
 	manualFlushes atomic.Int64
 	batches       atomic.Int64
 	items         atomic.Int64
+	poolGets      atomic.Int64
+	poolPuts      atomic.Int64
 }
 
 type bufferSet[T any] struct {
@@ -214,6 +223,7 @@ func (m *Manager[T]) Insert(srcPE, dstPE int, item T) *Batch[T] {
 // newBuf returns an empty buffer with full batch capacity, recycled from
 // the pool when a receiver has Released one.
 func (m *Manager[T]) newBuf() []T {
+	m.poolGets.Add(1)
 	if p, ok := m.pool.Get().(*[]T); ok {
 		return (*p)[:0]
 	}
@@ -229,6 +239,7 @@ func (m *Manager[T]) Release(items []T) {
 	if cap(items) < m.cap {
 		return
 	}
+	m.poolPuts.Add(1)
 	items = items[:0]
 	m.pool.Put(&items)
 }
@@ -293,5 +304,7 @@ func (m *Manager[T]) Stats() Stats {
 		ManualFlushes: m.manualFlushes.Load(),
 		Batches:       m.batches.Load(),
 		Items:         m.items.Load(),
+		PoolGets:      m.poolGets.Load(),
+		PoolPuts:      m.poolPuts.Load(),
 	}
 }

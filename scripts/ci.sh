@@ -1,6 +1,6 @@
 #!/usr/bin/env bash
-# Repository CI gate: vet, build, full test suite, then the race detector
-# over the concurrency-heavy packages (messaging fabric + its main client).
+# Repository CI gate: vet, the project's own analyzers (acic-lint), build,
+# full test suite, then the race detector over every package.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -8,11 +8,14 @@ cd "$(dirname "$0")/.."
 echo "== go vet =="
 go vet ./...
 
+echo "== acic-lint (project analyzers) =="
+go run ./cmd/acic-lint ./...
+
 echo "== build + test =="
 go build ./...
 go test ./...
 
-echo "== race detector (runtime, netsim, tram, core) =="
-go test -race ./internal/runtime/... ./internal/netsim/... ./internal/tram/... ./internal/core/...
+echo "== race detector (all packages) =="
+go test -race ./...
 
 echo "== ci green =="
