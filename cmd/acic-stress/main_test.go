@@ -1,0 +1,47 @@
+package main
+
+import (
+	"os"
+	"testing"
+)
+
+func TestReplayFlags(t *testing.T) {
+	cases := []struct {
+		seed     uint64
+		runs     int
+		profiles string
+		short    bool
+		want     string
+	}{
+		{1, 1, "all", false, "-seed 1 -runs 1"},
+		{7, 3, "all", true, "-seed 7 -runs 3 -short"},
+		{2, 1, "burst,reorder", false, "-seed 2 -runs 1 -profile burst,reorder"},
+	}
+	for _, c := range cases {
+		if got := replayFlags(c.seed, c.runs, c.profiles, c.short); got != c.want {
+			t.Errorf("replayFlags(%d,%d,%q,%v) = %q, want %q", c.seed, c.runs, c.profiles, c.short, got, c.want)
+		}
+	}
+}
+
+func TestRunBadFlags(t *testing.T) {
+	if code := run([]string{"-profile", "bogus"}, os.Stdout); code != 2 {
+		t.Errorf("bad profile: exit %d, want 2", code)
+	}
+	if code := run([]string{"-nope"}, os.Stdout); code != 2 {
+		t.Errorf("unknown flag: exit %d, want 2", code)
+	}
+}
+
+// TestRunSingleReplay executes exactly one fabric run through the real CLI
+// path — the replay workflow a failing seed prints.
+func TestRunSingleReplay(t *testing.T) {
+	devnull, err := os.OpenFile(os.DevNull, os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devnull.Close()
+	if code := run([]string{"-short", "-run", "0"}, devnull); code != 0 {
+		t.Errorf("replay of run 0 failed with exit %d", code)
+	}
+}

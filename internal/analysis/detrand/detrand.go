@@ -45,6 +45,7 @@ var Packages = map[string]bool{
 	"acic/internal/histogram": true,
 	"acic/internal/collect":   true,
 	"acic/internal/bench":     true,
+	"acic/internal/stress":    true,
 }
 
 // forbidden lists the time functions whose results depend on the wall clock

@@ -85,6 +85,9 @@ type Options struct {
 	Params  Params
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
+	// Jitter, when non-nil, perturbs every message's delivery delay (see
+	// netsim.JitterFunc) — the schedule-stress harness's hook.
+	Jitter netsim.JitterFunc
 }
 
 // Stats reports counters and the introspection trace.
@@ -98,6 +101,9 @@ type Stats struct {
 	ChangeTrace      []int64 // label changes observed per reduction cycle
 	TramStats        tram.Stats
 	Network          netsim.Stats
+	// Audit is the runtime's post-run conservation ledger; the stress
+	// harness requires Audit.Unaccounted() == 0 and Audit.NetQueue == 0.
+	Audit runtime.Audit
 }
 
 // Result is the output of a run.
@@ -316,6 +322,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 		Topo:    topo,
 		Latency: opts.Latency,
 		Combine: combineReduce,
+		Jitter:  opts.Jitter,
 	})
 	if err != nil {
 		return nil, err
@@ -365,6 +372,7 @@ func Run(g *graph.Graph, opts Options) (*Result, error) {
 	res.Stats.Components = len(seen)
 	res.Stats.TramStats = tm.Stats()
 	res.Stats.Network = rt.NetworkStats()
+	res.Stats.Audit = rt.Audit()
 	return res, nil
 }
 

@@ -27,6 +27,7 @@ import (
 
 	"acic/internal/histogram"
 	"acic/internal/netsim"
+	"acic/internal/runtime"
 	"acic/internal/simclock"
 	"acic/internal/trace"
 	"acic/internal/tram"
@@ -163,6 +164,9 @@ type Options struct {
 	Trace *trace.Recorder
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
+	// Jitter, when non-nil, perturbs every message's delivery delay (see
+	// netsim.JitterFunc) — the schedule-stress harness's hook.
+	Jitter netsim.JitterFunc
 }
 
 // Stats aggregates the measurements the paper reports.
@@ -184,6 +188,9 @@ type Stats struct {
 	TramStats tram.Stats
 	// Network are the simulated fabric's counters.
 	Network netsim.Stats
+	// Audit is the runtime's post-run conservation ledger; the stress
+	// harness requires Audit.Unaccounted() == 0 and Audit.NetQueue == 0.
+	Audit runtime.Audit
 	// FinalizedEarly is true if the optional vertex-finalization condition
 	// fired before quiescence.
 	FinalizedEarly bool

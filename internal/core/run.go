@@ -50,6 +50,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		Latency: opts.Latency,
 		Combine: combineReduce,
 		Trace:   opts.Trace,
+		Jitter:  opts.Jitter,
 	})
 	if err != nil {
 		return nil, err
@@ -100,5 +101,6 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	res.Stats.FinalizedEarly = root.finalizedEarly
 	res.Stats.TramStats = tm.Stats()
 	res.Stats.Network = rt.NetworkStats()
+	res.Stats.Audit = rt.Audit()
 	return res, nil
 }

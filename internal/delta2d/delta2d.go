@@ -35,6 +35,7 @@ import (
 	"acic/internal/graph"
 	"acic/internal/netsim"
 	"acic/internal/partition"
+	"acic/internal/runtime"
 	"acic/internal/simclock"
 	"acic/internal/tram"
 )
@@ -70,6 +71,9 @@ type Options struct {
 	Params  Params
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
+	// Jitter, when non-nil, perturbs every message's delivery delay (see
+	// netsim.JitterFunc) — the schedule-stress harness's hook.
+	Jitter netsim.JitterFunc
 }
 
 // Stats mirrors deltastep.Stats plus grid shape.
@@ -86,6 +90,9 @@ type Stats struct {
 	FrontierMsgs     int64 // row-broadcast frontier entries
 	TramStats        tram.Stats
 	Network          netsim.Stats
+	// Audit is the runtime's post-run conservation ledger; the stress
+	// harness requires Audit.Unaccounted() == 0 and Audit.NetQueue == 0.
+	Audit runtime.Audit
 }
 
 // Result is the output of a run.

@@ -29,6 +29,7 @@ import (
 	"time"
 
 	"acic/internal/netsim"
+	"acic/internal/runtime"
 	"acic/internal/simclock"
 	"acic/internal/tram"
 )
@@ -78,6 +79,9 @@ type Options struct {
 	Params  Params
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
+	// Jitter, when non-nil, perturbs every message's delivery delay (see
+	// netsim.JitterFunc) — the schedule-stress harness's hook.
+	Jitter netsim.JitterFunc
 }
 
 // Stats mirrors core.Stats where meaningful so the harness can tabulate
@@ -100,6 +104,9 @@ type Stats struct {
 	BFRounds        int64
 	TramStats       tram.Stats
 	Network         netsim.Stats
+	// Audit is the runtime's post-run conservation ledger; the stress
+	// harness requires Audit.Unaccounted() == 0 and Audit.NetQueue == 0.
+	Audit runtime.Audit
 	SettledPerEpoch []int64 // newly settled vertices per bucket epoch
 }
 

@@ -96,6 +96,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		Topo:    topo,
 		Latency: opts.Latency,
 		Combine: combineStatus,
+		Jitter:  opts.Jitter,
 	})
 	if err != nil {
 		return nil, err
@@ -134,5 +135,6 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	}
 	res.Stats.TramStats = tm.Stats()
 	res.Stats.Network = rt.NetworkStats()
+	res.Stats.Audit = rt.Audit()
 	return res, nil
 }

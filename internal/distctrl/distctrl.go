@@ -70,6 +70,9 @@ type Options struct {
 	Params  Params
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
+	// Jitter, when non-nil, perturbs every message's delivery delay (see
+	// netsim.JitterFunc) — the schedule-stress harness's hook.
+	Jitter netsim.JitterFunc
 }
 
 // Stats reports the run's counters.
@@ -81,6 +84,9 @@ type Stats struct {
 	Relaxations      int64
 	TramStats        tram.Stats
 	Network          netsim.Stats
+	// Audit is the runtime's post-run conservation ledger; the stress
+	// harness requires Audit.Unaccounted() == 0 and Audit.NetQueue == 0.
+	Audit runtime.Audit
 }
 
 // Result is the output of a run.
@@ -224,6 +230,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		Topo:           topo,
 		Latency:        opts.Latency,
 		QuiescencePoll: poll,
+		Jitter:         opts.Jitter,
 	})
 	if err != nil {
 		return nil, err
@@ -256,5 +263,6 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	}
 	res.Stats.TramStats = tm.Stats()
 	res.Stats.Network = rt.NetworkStats()
+	res.Stats.Audit = rt.Audit()
 	return res, nil
 }

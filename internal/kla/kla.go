@@ -108,6 +108,9 @@ type Options struct {
 	Params  Params
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
+	// Jitter, when non-nil, perturbs every message's delivery delay (see
+	// netsim.JitterFunc) — the schedule-stress harness's hook.
+	Jitter netsim.JitterFunc
 }
 
 // Stats reports the run's counters.
@@ -121,6 +124,9 @@ type Stats struct {
 	KHistory    []int32
 	TramStats   tram.Stats
 	Network     netsim.Stats
+	// Audit is the runtime's post-run conservation ledger; the stress
+	// harness requires Audit.Unaccounted() == 0 and Audit.NetQueue == 0.
+	Audit runtime.Audit
 }
 
 // Result is the output of a run.
@@ -374,6 +380,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		Topo:    topo,
 		Latency: opts.Latency,
 		Combine: combineStatus,
+		Jitter:  opts.Jitter,
 	})
 	if err != nil {
 		return nil, err
@@ -418,5 +425,6 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	}
 	res.Stats.TramStats = tm.Stats()
 	res.Stats.Network = rt.NetworkStats()
+	res.Stats.Audit = rt.Audit()
 	return res, nil
 }

@@ -21,7 +21,10 @@
 // between two PEs are delivered in send order (FIFO per source-destination
 // pair), matching the in-order delivery Charm++ guarantees between a pair
 // of PEs on one channel: both endpoints of a pair map to the same lane,
-// where a per-lane sequence number breaks deadline ties in enqueue order.
+// where per-pair deadlines are clamped to be monotone in send order and a
+// per-lane sequence number breaks the remaining deadline ties in enqueue
+// order — so the guarantee holds even under jittered delay models
+// (SetJitter) whose delays are not monotone in send order.
 package netsim
 
 import (
@@ -167,12 +170,24 @@ type Stats struct {
 // visibly hangs rather than silently producing wrong distances.
 type DropFilter func(src, dst, size int) bool
 
+// JitterFunc perturbs the modeled delay of one message. It receives the
+// endpoints, the size in items, and the delay the LatencyModel assigned,
+// and returns the delay to use instead. The schedule-stress harness
+// (internal/stress) installs deterministic seeded jitter through this hook
+// to shake out timing-dependent bugs; negative results are clamped to zero.
+// The function runs on sender goroutines and must be safe for concurrent
+// use. Per-pair FIFO order is preserved regardless of what the jitter
+// returns: the fabric never delivers a later send of a (src, dst) pair
+// before an earlier one (see Send).
+type JitterFunc func(src, dst, size int, base time.Duration) time.Duration
+
 // Network is the sharded delay-queue message fabric.
 type Network struct {
 	topo    Topology
 	model   LatencyModel
 	deliver func(dst int, payload any)
 	drop    atomic.Pointer[DropFilter]
+	jitter  atomic.Pointer[JitterFunc]
 
 	// epoch anchors all deadlines: deliveries are scheduled in nanoseconds
 	// since epoch, measured with the monotonic clock, so deadline math is
@@ -204,6 +219,13 @@ type lane struct {
 	q      deliveryQueue
 	seq    uint64 // tiebreak: preserves FIFO among equal deadlines
 	closed bool
+
+	// pairAt[src] is the deadline of the latest message enqueued from src
+	// into this lane, allocated on the lane's first Send. Deadlines of a
+	// (src, dst) pair are clamped to be monotone non-decreasing, so FIFO
+	// per pair survives delays that are not monotone in send order —
+	// jittered models, or a large per-item batch followed by a small one.
+	pairAt []int64
 
 	// nextAt mirrors the head deadline (laneEmpty when empty) so the
 	// dispatcher can scan lanes without taking their locks.
@@ -320,6 +342,16 @@ func (n *Network) SetDropFilter(f DropFilter) {
 // Model returns the latency model.
 func (n *Network) Model() LatencyModel { return n.model }
 
+// SetJitter installs a per-message delay perturbation. Call before any
+// Send; a nil func (the default) leaves the model's delays untouched.
+func (n *Network) SetJitter(j JitterFunc) {
+	if j == nil {
+		n.jitter.Store(nil)
+		return
+	}
+	n.jitter.Store(&j)
+}
+
 // Send schedules payload for delivery to dst's mailbox after the delay
 // implied by the (src, dst) tier and size (in items). It is safe for
 // concurrent use. Sending on a closed network is a no-op. A message counts
@@ -334,6 +366,11 @@ func (n *Network) Send(src, dst int, payload any, size int) {
 	}
 	tier := n.topo.TierOf(src, dst)
 	delay := n.model.Delay(tier, size)
+	if j := n.jitter.Load(); j != nil {
+		if delay = (*j)(src, dst, size, delay); delay < 0 {
+			delay = 0
+		}
+	}
 	//acic:allow-wallclock latency injection maps simulated delay onto the real timeline by design
 	at := int64(time.Since(n.epoch) + delay)
 
@@ -343,8 +380,25 @@ func (n *Network) Send(src, dst int, payload any, size int) {
 		la.mu.Unlock()
 		return
 	}
+	// Clamp the deadline so it never precedes an earlier send of the same
+	// (src, dst) pair: per-pair FIFO must hold for any delay function, not
+	// only monotone ones (the seq tiebreak alone covers only exact ties).
+	if la.pairAt == nil {
+		la.pairAt = make([]int64, len(n.lanes))
+	}
+	if at < la.pairAt[src] {
+		at = la.pairAt[src]
+	}
+	la.pairAt[src] = at
 	la.seq++
 	la.q.push(delivery{at: at, seq: la.seq, payload: payload})
+	// queued must rise before the message becomes visible to the
+	// dispatcher (it cannot pop until this lock is released): incrementing
+	// after the unlock opens a window where a message is delivered and
+	// decremented first, letting QueueLen() read 0 — or negative — while
+	// traffic is outstanding, a false-quiescence hazard for any detector
+	// that trusts QueueLen.
+	depth := n.queued.Add(1)
 	newHead := la.q[0].at == at && la.q[0].seq == la.seq
 	if newHead {
 		la.nextAt.Store(at)
@@ -354,7 +408,6 @@ func (n *Network) Send(src, dst int, payload any, size int) {
 	atomic.AddInt64(&n.stats.MessagesSent, 1)
 	atomic.AddInt64(&n.stats.ItemsSent, int64(size))
 	atomic.AddInt64(&n.stats.BytesByTier[tier], int64(size))
-	depth := n.queued.Add(1)
 	for {
 		cur := n.maxDepth.Load()
 		if depth <= cur || n.maxDepth.CompareAndSwap(cur, depth) {

@@ -1,0 +1,218 @@
+package netsim
+
+// Regression tests for the queued-counter ordering in Send and the per-pair
+// deadline clamp: the two fabric-level guarantees the false-quiescence
+// analysis rests on. QueueLen must never transiently undercount in-flight
+// traffic (a quiescence detector that trusts it would terminate with
+// messages outstanding), and FIFO per (src, dst) pair must survive delay
+// functions that are not monotone in send order.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestQueueLenConsistentUnderFire is the regression test for the Send
+// ordering fix: the queued counter must rise before a message becomes
+// visible to the dispatcher. It pings with exactly one message in flight
+// per worker, so inside the deliver callback QueueLen() >= 1 is an
+// invariant (the delivered message is counted until after the callback
+// returns); the pre-fix ordering — increment after the lane unlock — lets
+// an OS preemption of the sender thread strand the counter at 0 or below
+// for a whole scheduling quantum, which this test observes both at deliver
+// time and from spinning monitors. Against the pre-fix code this fails with
+// thousands of violations; the fixed ordering admits none.
+func TestQueueLenConsistentUnderFire(t *testing.T) {
+	// The race needs a sender OS thread suspended mid-Send while the
+	// dispatcher keeps running; with GOMAXPROCS=1 a preemption pauses the
+	// whole world and the inconsistent window is never concurrently
+	// observable.
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	topo := SingleNode(16)
+	numPEs := topo.TotalPEs()
+	const workers = 8
+	rounds := 60000
+	if testing.Short() {
+		rounds = 10000
+	}
+
+	acks := make([]chan struct{}, workers)
+	for i := range acks {
+		acks[i] = make(chan struct{}, 1)
+	}
+	var underflow, delivered atomic.Int64
+	var n *Network
+	n, err := NewNetwork(topo, ZeroLatency(), func(dst int, payload any) {
+		if n.QueueLen() < 1 {
+			underflow.Add(1)
+		}
+		delivered.Add(1)
+		acks[payload.(int)] <- struct{}{}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var negative atomic.Int64
+	monStop := make(chan struct{})
+	var monWG sync.WaitGroup
+	for m := 0; m < 2; m++ {
+		monWG.Add(1)
+		go func() {
+			defer monWG.Done()
+			for {
+				select {
+				case <-monStop:
+					return
+				default:
+				}
+				if n.QueueLen() < 0 {
+					negative.Add(1)
+				}
+			}
+		}()
+	}
+
+	var wg sync.WaitGroup
+	var sent atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			src, dst := w, numPEs-1-w
+			for i := 0; i < rounds; i++ {
+				sent.Add(1)
+				n.Send(src, dst, w, 1)
+				<-acks[w]
+			}
+		}(w)
+	}
+	wg.Wait()
+	n.Close()
+	close(monStop)
+	monWG.Wait()
+
+	if u := underflow.Load(); u > 0 {
+		t.Errorf("QueueLen() < 1 inside deliver %d times: a delivery outran its send's queued increment", u)
+	}
+	if neg := negative.Load(); neg > 0 {
+		t.Errorf("QueueLen() observed negative %d times", neg)
+	}
+	if s, d := sent.Load(), delivered.Load(); s != d {
+		t.Errorf("sent %d != delivered %d after Close", s, d)
+	}
+	if q := n.QueueLen(); q != 0 {
+		t.Errorf("QueueLen() = %d after Close, want 0", q)
+	}
+}
+
+// TestNetworkFIFOPerPairPerItemSizes pins the per-pair deadline clamp with
+// a deterministic schedule: under a PerItem-dominated model, a large batch
+// followed by a small one would get a later send with an earlier deadline.
+// Without the clamp the small message overtakes the large one and per-pair
+// FIFO — which the protocol layers above rely on — silently breaks.
+func TestNetworkFIFOPerPairPerItemSizes(t *testing.T) {
+	var mu sync.Mutex
+	var got []int
+	n, err := NewNetwork(SingleNode(2), LatencyModel{PerItem: 50 * time.Microsecond},
+		func(dst int, payload any) {
+			mu.Lock()
+			got = append(got, payload.(int))
+			mu.Unlock()
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const k = 50
+	for i := 0; i < k; i++ {
+		size := 1
+		if i%2 == 0 {
+			size = 40 // even sends are 40x the serialization cost of odd ones
+		}
+		n.Send(0, 1, i, size)
+	}
+	n.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(got) != k {
+		t.Fatalf("received %d, want %d", len(got), k)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("out of order at position %d: got message %d (small message overtook a large one)", i, v)
+		}
+	}
+}
+
+// TestNetworkFIFOPerPairUnderJitter is the property test for FIFO under
+// jittered delay models: an adversarial jitter that assigns strictly
+// decreasing delays — every message "should" overtake all of its
+// predecessors — must still come out in send order for each (src, dst)
+// pair. Concurrent senders own disjoint pairs so per-pair send order is
+// well defined.
+func TestNetworkFIFOPerPairUnderJitter(t *testing.T) {
+	topo := SingleNode(8)
+	numPEs := topo.TotalPEs()
+	const senders = 4
+	const perPair = 300
+
+	lastSeen := make([]int64, numPEs*numPEs)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	type msg struct {
+		src int
+		n   int64
+	}
+	var violations atomic.Int64
+	n, err := NewNetwork(topo, DefaultLatency(), func(dst int, payload any) {
+		m := payload.(msg)
+		pair := m.src*numPEs + dst
+		if m.n != lastSeen[pair]+1 { // single dispatcher goroutine: no lock needed
+			violations.Add(1)
+		}
+		lastSeen[pair] = m.n
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Strictly decreasing delay per call: the worst non-monotone schedule.
+	var calls atomic.Int64
+	n.SetJitter(func(src, dst, size int, base time.Duration) time.Duration {
+		c := calls.Add(1)
+		d := time.Duration(senders*numPEs*perPair+1)*time.Microsecond - time.Duration(c)*time.Microsecond
+		if d < 0 {
+			d = 0
+		}
+		return d
+	})
+
+	var wg sync.WaitGroup
+	for w := 0; w < senders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			// Disjoint ownership: sources ≡ w (mod senders).
+			for i := 0; i < perPair; i++ {
+				for src := w; src < numPEs; src += senders {
+					dst := (src + 1 + w) % numPEs
+					n.Send(src, dst, msg{src: src, n: int64(i)}, 1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	n.Close()
+
+	if v := violations.Load(); v > 0 {
+		t.Errorf("%d per-pair FIFO violations under adversarial decreasing jitter", v)
+	}
+}

@@ -1,0 +1,117 @@
+package runtime
+
+// Regression tests for self-push accounting: every path that feeds a
+// mailbox without crossing rt.send — the root's own broadcast copy, the
+// root's completed-reduction delivery, the quiescence notification — must
+// bump sent symmetrically with the delivered bump its dispatch performs.
+// Before the fix those self-pushes inflated delivered past sent, so the
+// runtime-level detector's sent == delivered could never hold again after
+// the first broadcast cycle: quiescence silently stopped firing (a
+// permanent hang for any caller waiting on it), and the stale surplus of
+// delivered could mask exactly that many genuinely in-flight messages.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acic/internal/netsim"
+)
+
+// introspector drives the paper's continuous broadcast → contribute →
+// reduce cycle for a fixed number of epochs, then goes idle and waits for
+// the runtime-level quiescence detector.
+type introspector struct {
+	NopControl
+	epochs   int64
+	cycles   *atomic.Int64
+	quiesced *atomic.Int64
+}
+
+func (h *introspector) Deliver(pe *PE, msg any) {
+	if _, ok := msg.(Quiescence); ok {
+		h.quiesced.Add(1)
+		pe.Exit()
+		return
+	}
+	// Kick message: the root opens the first cycle.
+	pe.Broadcast(1, nil)
+}
+
+func (h *introspector) OnBroadcast(pe *PE, epoch int64, payload any) {
+	pe.Contribute(epoch, int64(1))
+}
+
+func (h *introspector) OnReduction(pe *PE, epoch int64, value any) {
+	h.cycles.Add(1)
+	if epoch < h.epochs {
+		pe.Broadcast(epoch+1, nil)
+	}
+}
+
+func (h *introspector) Idle(pe *PE) bool { return false }
+
+// TestQuiescenceAfterBroadcastReduceLoop is the regression test for the
+// self-push fix: with the runtime-level detector active alongside an
+// introspection loop, quiescence must still fire after the loop stops.
+// On pre-fix code each cycle's root self-pushes leave delivered > sent
+// forever, the detector never agrees, and this test times out in Wait.
+func TestQuiescenceAfterBroadcastReduceLoop(t *testing.T) {
+	var cycles, quiesced atomic.Int64
+	const epochs = 25
+	cfg := Config{
+		Topo:           netsim.SingleNode(6),
+		Latency:        netsim.LatencyModel{IntraProcess: 20 * time.Microsecond},
+		Combine:        func(a, b any) any { return a.(int64) + b.(int64) },
+		QuiescencePoll: 200 * time.Microsecond,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start(func(pe *PE) Handler {
+		return &introspector{epochs: epochs, cycles: &cycles, quiesced: &quiesced}
+	})
+	rt.send(0, 0, envelope{kind: kindApp, payload: "kick"}, 1)
+	waitOrFail(t, rt, 10*time.Second)
+
+	if got := cycles.Load(); got != epochs {
+		t.Errorf("completed %d reduction cycles, want %d", got, epochs)
+	}
+	if got := quiesced.Load(); got != 1 {
+		t.Errorf("quiescence fired %d times, want 1", got)
+	}
+	if a := rt.Audit(); a.Unaccounted() != 0 {
+		t.Errorf("conservation ledger unbalanced after %d broadcast/reduce cycles: %+v (unaccounted %d)",
+			epochs, a, a.Unaccounted())
+	}
+}
+
+// TestAuditBalancedAfterQuiescence checks the exact post-run ledger on the
+// plain quiescence path (no reductions): Sent must equal Delivered plus
+// every accounted sink, so a single skewed counter anywhere shows up as a
+// nonzero Unaccounted.
+func TestAuditBalancedAfterQuiescence(t *testing.T) {
+	var hops, quiesced atomic.Int64
+	cfg := Config{
+		Topo:           netsim.SingleNode(2),
+		Latency:        netsim.LatencyModel{IntraProcess: 50 * time.Microsecond},
+		QuiescencePoll: 200 * time.Microsecond,
+	}
+	rt, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rt.Start(func(pe *PE) Handler { return &relayApp{hops: &hops, quiesced: &quiesced} })
+	rt.send(0, 0, envelope{kind: kindApp, payload: 30}, 1)
+	waitOrFail(t, rt, 10*time.Second)
+
+	a := rt.Audit()
+	if a.Unaccounted() != 0 {
+		t.Errorf("unaccounted = %d, ledger %+v", a.Unaccounted(), a)
+	}
+	if a.Sent != rt.MessagesSent() || a.Delivered != rt.MessagesDelivered() {
+		t.Errorf("audit counters disagree with accessors: %+v vs sent=%d delivered=%d",
+			a, rt.MessagesSent(), rt.MessagesDelivered())
+	}
+}

@@ -34,6 +34,11 @@ type mailbox struct {
 	// queued counts items in prod plus un-popped items in cons, so len()
 	// is safe from any goroutine without touching consumer-private state.
 	queued atomic.Int64
+
+	// dropped counts pushes that arrived after close — in-flight messages
+	// discarded during shutdown. The conservation audit needs them: they
+	// were counted in sent but will never be counted in delivered.
+	dropped atomic.Int64
 }
 
 func newMailbox() *mailbox {
@@ -50,6 +55,8 @@ func (m *mailbox) push(env envelope) {
 		m.prod = append(m.prod, env)
 		m.queued.Add(1)
 		m.cond.Signal()
+	} else {
+		m.dropped.Add(1)
 	}
 	m.mu.Unlock()
 }

@@ -82,6 +82,12 @@ type Config struct {
 	// given poll interval; zero disables it. On detection a Quiescence
 	// message is delivered to PE 0.
 	QuiescencePoll time.Duration
+	// Jitter, when non-nil, perturbs the modeled delay of every message
+	// (see netsim.JitterFunc). Installing jitter disables the zero-latency
+	// mailbox bypass so that every send crosses the simulated fabric and
+	// is subject to the perturbation — the schedule-stress harness uses
+	// this to explore adversarial delivery orders.
+	Jitter netsim.JitterFunc
 	// Trace, when non-nil, records per-PE scheduling events (deliveries,
 	// idle work, blocking, reductions, broadcasts, compute sleeps). It
 	// must have been created for at least Topo.TotalPEs() PEs.
@@ -192,11 +198,15 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	rt.noPerItem = cfg.Latency.PerItem == 0
 	rt.zeroBase = make([]uint64, (numPEs*numPEs+63)/64)
-	for src := 0; src < numPEs; src++ {
-		for dst := 0; dst < numPEs; dst++ {
-			if cfg.Latency.Delay(cfg.Topo.TierOf(src, dst), 0) == 0 {
-				idx := src*numPEs + dst
-				rt.zeroBase[idx>>6] |= 1 << (idx & 63)
+	if cfg.Jitter == nil {
+		// With jitter installed no pair is reliably zero-delay, so the
+		// bitmap stays empty and every message crosses the fabric.
+		for src := 0; src < numPEs; src++ {
+			for dst := 0; dst < numPEs; dst++ {
+				if cfg.Latency.Delay(cfg.Topo.TierOf(src, dst), 0) == 0 {
+					idx := src*numPEs + dst
+					rt.zeroBase[idx>>6] |= 1 << (idx & 63)
+				}
 			}
 		}
 	}
@@ -205,6 +215,9 @@ func New(cfg Config) (*Runtime, error) {
 	})
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Jitter != nil {
+		net.SetJitter(cfg.Jitter)
 	}
 	rt.net = net
 	return rt, nil
@@ -282,6 +295,49 @@ func (rt *Runtime) Network() *netsim.Network { return rt.net }
 // MessagesSent returns the total number of messages sent so far.
 func (rt *Runtime) MessagesSent() int64 { return rt.sent.Load() }
 
+// MessagesDelivered returns the total number of envelopes dispatched so far.
+func (rt *Runtime) MessagesDelivered() int64 { return rt.delivered.Load() }
+
+// Audit is a snapshot of the runtime's message-conservation ledger. Every
+// sent envelope is exactly one of: dispatched (Delivered), still inside the
+// simulated fabric (NetQueue), discarded by an injected fault filter
+// (NetDropped), parked in a PE mailbox (MailboxBacklog), or pushed at a
+// mailbox that had already closed during shutdown (DroppedAtExit). The
+// identity Unaccounted() == 0 is exact once Wait has returned; mid-run
+// snapshots are only approximate because the counters are read at
+// different instants.
+type Audit struct {
+	Sent           int64
+	Delivered      int64
+	NetQueue       int64
+	NetDropped     int64
+	MailboxBacklog int64
+	DroppedAtExit  int64
+}
+
+// Unaccounted returns the number of sent messages the ledger cannot place —
+// nonzero means a message was silently lost or double-counted somewhere.
+func (a Audit) Unaccounted() int64 {
+	return a.Sent - a.Delivered - a.NetQueue - a.NetDropped - a.MailboxBacklog - a.DroppedAtExit
+}
+
+// Audit snapshots the conservation ledger. Call after Wait for an exact
+// accounting; the schedule-stress harness checks Unaccounted() == 0 and
+// NetQueue == 0 after every run.
+func (rt *Runtime) Audit() Audit {
+	a := Audit{
+		Sent:       rt.sent.Load(),
+		Delivered:  rt.delivered.Load(),
+		NetQueue:   int64(rt.net.QueueLen()),
+		NetDropped: rt.net.Stats().Dropped,
+	}
+	for _, pe := range rt.pes {
+		a.MailboxBacklog += int64(pe.mbox.len())
+		a.DroppedAtExit += pe.mbox.dropped.Load()
+	}
+	return a
+}
+
 // Handler returns the handler instance hosted on PE i, for post-run result
 // collection.
 func (rt *Runtime) Handler(i int) Handler { return rt.pes[i].handler }
@@ -308,6 +364,19 @@ func (rt *Runtime) send(src, dst int, env envelope, size int) {
 		return
 	}
 	rt.net.Send(src, dst, env, size)
+}
+
+// selfPush counts a mailbox self-push in sent before enqueueing it. Every
+// envelope that reaches dispatch bumps delivered, so any path that feeds a
+// mailbox without passing through send — the root's own broadcast copy, the
+// root's completed-reduction delivery, the quiescence notification — must
+// bump sent symmetrically. Otherwise delivered permanently outruns sent and
+// the conservation check sent == delivered can never hold again; worse, a
+// stale surplus of delivered can mask exactly that many in-flight messages,
+// turning the detector's equality into a false-quiescence window.
+func (pe *PE) selfPush(env envelope) {
+	pe.rt.sent.Add(1)
+	pe.mbox.push(env)
 }
 
 // --- PE API (handler-side) ---
@@ -366,7 +435,7 @@ func (pe *PE) Broadcast(epoch int64, payload any) {
 	if pe.index != 0 {
 		panic(fmt.Sprintf("runtime: Broadcast called on PE %d, only the root may broadcast", pe.index))
 	}
-	pe.mbox.push(envelope{kind: kindBroadcast, epoch: epoch, payload: payload})
+	pe.selfPush(envelope{kind: kindBroadcast, epoch: epoch, payload: payload})
 }
 
 // --- internal machinery ---
@@ -409,7 +478,7 @@ func (pe *PE) absorb(epoch int64, value any) {
 		// Deliver through the mailbox: the final contribution may have been
 		// made synchronously from a handler (OnBroadcast of the previous
 		// cycle), and a direct call would recurse cycle after cycle.
-		pe.mbox.push(envelope{kind: kindReduceDone, epoch: epoch, payload: st.value})
+		pe.selfPush(envelope{kind: kindReduceDone, epoch: epoch, payload: st.value})
 		return
 	}
 	pe.rt.send(pe.index, treeParent(pe.index),
@@ -524,7 +593,7 @@ func (rt *Runtime) quiescenceMonitor() {
 			cur.idle == int64(len(rt.pes)) &&
 			rt.net.QueueLen() == 0
 		if quiet && havePrev && cur == prev {
-			rt.pes[0].mbox.push(envelope{kind: kindQuiesce})
+			rt.pes[0].selfPush(envelope{kind: kindQuiesce})
 			return
 		}
 		prev, havePrev = cur, quiet

@@ -1,0 +1,228 @@
+package stress
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"acic/internal/netsim"
+	"acic/internal/xrand"
+)
+
+// fabricMsg is the traceable payload the fabric hammer sends: the source PE
+// and the message's per-pair sequence number, enough to verify per-pair
+// FIFO at the receiver.
+type fabricMsg struct {
+	src int
+	n   uint64
+}
+
+// pingMsg is the ping-phase payload: the callback acknowledges it on the
+// owning worker's channel so exactly one message per worker is in flight.
+type pingMsg struct {
+	worker int
+}
+
+// fabricStress hammers a raw netsim.Network with concurrent senders under
+// the given profile while a monitor goroutine samples QueueLen, and checks
+// the fabric's own invariants — the layer below any algorithm:
+//
+//   - QueueLen is never negative (the pre-fix Send incremented the queued
+//     counter after releasing the lane lock, so a fast deliver/decrement
+//     could be observed first; a negative residue can cancel a real
+//     in-flight message and make QueueLen read 0 with traffic outstanding,
+//     which is exactly the false-quiescence window).
+//   - Messages of one (src, dst) pair arrive in send order even though the
+//     profile hands out non-monotone delays.
+//   - After Close the fabric is drained: delivered == sent, QueueLen == 0.
+//
+// A nil jitter (ProfileNone) is the tightest-timing case: zero modeled
+// latency makes deliver race send with the smallest possible window.
+func fabricStress(seed uint64, profile Profile, short bool) error {
+	topo := netsim.PaperNode(1)
+	numPEs := topo.TotalPEs()
+	model := netsim.ZeroLatency()
+	if profile != ProfileNone {
+		model = netsim.DefaultLatency()
+	}
+
+	perPair := 300
+	senders := 8
+	if short {
+		perPair = 120
+		senders = 4
+	}
+
+	// lastSeen[src*numPEs+dst] holds the last per-pair sequence number
+	// delivered; the dispatcher is a single goroutine, so plain writes
+	// would do, but the monitor reads sent/delivered concurrently.
+	lastSeen := make([]int64, numPEs*numPEs)
+	for i := range lastSeen {
+		lastSeen[i] = -1
+	}
+	var delivered, fifoViolations, underflow atomic.Int64
+	var firstViolation atomic.Value
+	pingWorkers := 8
+	acks := make([]chan struct{}, pingWorkers)
+	for i := range acks {
+		acks[i] = make(chan struct{}, 1)
+	}
+
+	// The deliver callback reads n; the write below happens-before every
+	// Send (senders start after it), and the dispatcher observes the sends
+	// through the lane mutex, so the read is ordered after the write.
+	var n *netsim.Network
+	n, err := netsim.NewNetwork(topo, model, func(dst int, payload any) {
+		// Inside deliver, the message being delivered has been counted into
+		// queued (the increment precedes its visibility to the dispatcher)
+		// and its decrement only happens after this callback returns, so
+		// QueueLen() >= 1 must hold. This probes the counter at the exact
+		// instant the pre-fix ordering (increment after the lane unlock)
+		// loses the race: a deliver outrunning its own send's increment
+		// reads 0 here — the false-quiescence window, sampled on every
+		// delivery instead of hoping a polling monitor lands inside it.
+		if n.QueueLen() < 1 {
+			underflow.Add(1)
+		}
+		delivered.Add(1)
+		switch m := payload.(type) {
+		case fabricMsg:
+			pair := m.src*numPEs + dst
+			if int64(m.n) != lastSeen[pair]+1 {
+				if fifoViolations.Add(1) == 1 {
+					firstViolation.Store(fmt.Sprintf("pair (%d,%d): delivered n=%d after n=%d", m.src, dst, m.n, lastSeen[pair]))
+				}
+			}
+			lastSeen[pair] = int64(m.n)
+		case pingMsg:
+			acks[m.worker] <- struct{}{}
+		}
+	})
+	if err != nil {
+		return err
+	}
+	if j := NewJitter(profile, seed, topo); j != nil {
+		n.SetJitter(j)
+	}
+
+	// Monitor: sample QueueLen as fast as possible, recording any negative
+	// reading. Gosched keeps the loop preemptible without sleeping.
+	var negative atomic.Int64
+	monStop := make(chan struct{})
+	monDone := make(chan struct{})
+	go func() {
+		defer close(monDone)
+		for {
+			select {
+			case <-monStop:
+				return
+			default:
+			}
+			if q := n.QueueLen(); q < 0 {
+				negative.Add(1)
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	// Run with at least 4 Ps even on a single-core machine: the counter
+	// races under test need a sender OS thread suspended mid-Send while the
+	// dispatcher thread keeps running, and with GOMAXPROCS=1 there is only
+	// one running thread, so a preemption pauses the whole world and no
+	// inconsistent intermediate state is ever concurrently observable.
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+
+	// Phase 1 (zero-latency control run only): ping. Each worker keeps
+	// exactly one message in flight — send, wait for the deliver callback's
+	// ack, repeat — so the queue hovers near empty. That is the regime where
+	// the deliver-time QueueLen probe has teeth: a blast keeps tens of
+	// messages queued and the surplus masks one missing increment, but at
+	// one-in-flight a deliver that outruns its own send's increment reads a
+	// bare 0. Against the pre-fix ordering, an OS preemption of a sender
+	// thread between its lane unlock and its (too-late) queued increment
+	// leaves a counter debt outstanding for a whole scheduling quantum, and
+	// every delivery in that quantum trips the probe; the fixed ordering
+	// never trips it. Detection is probabilistic per preemption, so the
+	// phase is sized to see many scheduling quanta.
+	var sent atomic.Int64
+	if profile == ProfileNone {
+		rounds := 120000
+		if short {
+			rounds = 40000
+		}
+		var pwg sync.WaitGroup
+		for w := 0; w < pingWorkers; w++ {
+			pwg.Add(1)
+			go func(w int) {
+				defer pwg.Done()
+				src, dst := w, numPEs-1-w
+				for i := 0; i < rounds; i++ {
+					sent.Add(1)
+					n.Send(src, dst, pingMsg{worker: w}, 1)
+					<-acks[w]
+				}
+			}(w)
+		}
+		pwg.Wait()
+	}
+
+	// Phase 2: blast. Each goroutine owns a disjoint slice of (src, dst) pairs and
+	// sends perPair messages per pair in order, interleaving pairs so lanes
+	// stay concurrently hot. Pair ownership is what makes the FIFO check
+	// sound: per-pair send order is defined by a single goroutine.
+	var wg sync.WaitGroup
+	for w := 0; w < senders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := xrand.NewStream(seed, uint64(w))
+			// Owned pairs: srcs ≡ w (mod senders), random distinct dsts —
+			// a duplicate pair would carry two independent sequence
+			// counters and fake a FIFO violation.
+			var pairs [][2]int
+			seen := make(map[[2]int]bool)
+			for src := w; src < numPEs; src += senders {
+				for k := 0; k < 3; k++ {
+					p := [2]int{src, r.Intn(numPEs)}
+					if !seen[p] {
+						seen[p] = true
+						pairs = append(pairs, p)
+					}
+				}
+			}
+			next := make([]uint64, len(pairs))
+			for i := 0; i < perPair*len(pairs); i++ {
+				p := r.Intn(len(pairs))
+				src, dst := pairs[p][0], pairs[p][1]
+				sent.Add(1)
+				n.Send(src, dst, fabricMsg{src: src, n: next[p]}, 1+r.Intn(4))
+				next[p]++
+			}
+		}(w)
+	}
+	wg.Wait()
+	n.Close()
+	close(monStop)
+	<-monDone
+
+	if u := underflow.Load(); u > 0 {
+		return fmt.Errorf("fabric: QueueLen() < 1 inside deliver %d times (a delivery outran its send's queued increment — false-quiescence window)", u)
+	}
+	if neg := negative.Load(); neg > 0 {
+		return fmt.Errorf("fabric: QueueLen() observed negative %d times (queued counter raced the dispatcher)", neg)
+	}
+	if v := fifoViolations.Load(); v > 0 {
+		return fmt.Errorf("fabric: %d per-pair FIFO violations, first: %s", v, firstViolation.Load())
+	}
+	if s, d := sent.Load(), delivered.Load(); s != d {
+		return fmt.Errorf("fabric: sent %d != delivered %d after Close (message lost in the fabric)", s, d)
+	}
+	if q := n.QueueLen(); q != 0 {
+		return fmt.Errorf("fabric: QueueLen() == %d after Close, want 0", q)
+	}
+	return nil
+}

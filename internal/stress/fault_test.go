@@ -1,0 +1,132 @@
+package stress
+
+// Fault injection under adversarial schedules: the harness's core safety
+// claim is that a lost update fails LOUDLY — the conservation counters stay
+// permanently unequal and quiescence never fires — rather than silently, as
+// wrong results. These tests drop one message underneath a jittered
+// schedule and check both the hang and the ledger; the control run shows
+// the same schedule terminates cleanly without the drop.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acic/internal/netsim"
+	"acic/internal/runtime"
+)
+
+// relay forwards a countdown between two PEs and records quiescence.
+type relay struct {
+	runtime.NopControl
+	hops     *atomic.Int64
+	quiesced *atomic.Int64
+}
+
+func (h *relay) Deliver(pe *runtime.PE, msg any) {
+	if _, ok := msg.(runtime.Quiescence); ok {
+		h.quiesced.Add(1)
+		pe.Exit()
+		return
+	}
+	n := msg.(int)
+	h.hops.Add(1)
+	if n > 1 {
+		pe.Send(1-pe.Index(), n-1, 1)
+	}
+}
+
+func (h *relay) Idle(pe *runtime.PE) bool { return false }
+
+func relayConfig(profile Profile, seed uint64) runtime.Config {
+	topo := netsim.SingleNode(2)
+	return runtime.Config{
+		Topo:           topo,
+		Latency:        netsim.LatencyModel{IntraProcess: 100 * time.Microsecond},
+		QuiescencePoll: 200 * time.Microsecond,
+		Jitter:         NewJitter(profile, seed, topo),
+	}
+}
+
+// TestDroppedUpdateUnderStressHangsLoudly drops the 5th message of a relay
+// chain running under every adversarial profile. The chain must stall, the
+// runtime-level detector must never fire, and the ledger must show the
+// loss: Sent > Delivered forever, with the drop visible in NetDropped.
+func TestDroppedUpdateUnderStressHangsLoudly(t *testing.T) {
+	for i, profile := range Profiles() {
+		profile := profile
+		t.Run(string(profile), func(t *testing.T) {
+			var hops, quiesced atomic.Int64
+			rt, err := runtime.New(relayConfig(profile, uint64(i)+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			var count atomic.Int64
+			rt.Network().SetDropFilter(func(src, dst, size int) bool {
+				return count.Add(1) == 5
+			})
+			rt.Start(func(pe *runtime.PE) runtime.Handler {
+				return &relay{hops: &hops, quiesced: &quiesced}
+			})
+			rt.Inject(0, 20)
+
+			time.Sleep(50 * time.Millisecond)
+			if got := quiesced.Load(); got != 0 {
+				t.Errorf("quiescence fired %d times despite a lost message", got)
+			}
+			if got := hops.Load(); got >= 20 {
+				t.Errorf("chain completed (%d hops) despite the drop", got)
+			}
+			a := rt.Audit()
+			if a.Sent <= a.Delivered {
+				t.Errorf("loss not visible in the ledger: sent=%d delivered=%d", a.Sent, a.Delivered)
+			}
+			if a.NetDropped != 1 {
+				t.Errorf("NetDropped = %d, want 1", a.NetDropped)
+			}
+			rt.RequestExit()
+			rt.Wait()
+		})
+	}
+}
+
+// TestNoDropUnderStressQuiescesCleanly is the control: the identical
+// jittered schedules with no drop terminate, quiesce exactly once, and
+// leave a balanced ledger.
+func TestNoDropUnderStressQuiescesCleanly(t *testing.T) {
+	for i, profile := range Profiles() {
+		profile := profile
+		t.Run(string(profile), func(t *testing.T) {
+			var hops, quiesced atomic.Int64
+			rt, err := runtime.New(relayConfig(profile, uint64(i)+1))
+			if err != nil {
+				t.Fatal(err)
+			}
+			rt.Start(func(pe *runtime.PE) runtime.Handler {
+				return &relay{hops: &hops, quiesced: &quiesced}
+			})
+			rt.Inject(0, 20)
+
+			done := make(chan struct{})
+			go func() {
+				rt.Wait()
+				close(done)
+			}()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				rt.RequestExit()
+				t.Fatal("runtime did not terminate")
+			}
+			if hops.Load() != 20 {
+				t.Errorf("hops = %d, want 20", hops.Load())
+			}
+			if quiesced.Load() != 1 {
+				t.Errorf("quiescence fired %d times, want 1", quiesced.Load())
+			}
+			if a := rt.Audit(); a.Unaccounted() != 0 {
+				t.Errorf("unaccounted = %d, ledger %+v", a.Unaccounted(), a)
+			}
+		})
+	}
+}

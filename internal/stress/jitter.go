@@ -1,0 +1,155 @@
+// Package stress is the seeded differential schedule-stress harness.
+//
+// Asynchronous label-correcting algorithms are notoriously sensitive to
+// message timing: a schedule that delays one tier, reorders equal-deadline
+// messages, or releases traffic in bursts can expose termination and
+// conservation bugs that uniform schedules never reach (Blanco et al.,
+// "Delayed Asynchronous Iterative Graph Algorithms"; the paper's own §II-D
+// two-snapshot quiescence rule exists precisely because single snapshots
+// race with in-flight updates). This package deliberately perturbs the
+// simulated fabric's delivery schedule with deterministic, seeded jitter
+// and then checks every run two ways:
+//
+//   - differentially, against the sequential oracles (seq.Dijkstra for the
+//     five SSSP algorithms, cc.SequentialCC for connected components), and
+//   - by auditing conservation invariants after the run: the runtime's
+//     message ledger balances exactly (runtime.Audit.Unaccounted() == 0),
+//     the fabric is drained (NetQueue == 0), and tramlib returned every
+//     pooled batch (PoolGets == PoolPuts).
+//
+// Every run is fully determined by one uint64 seed, so any counterexample
+// schedule is replayable: the harness prints the failing spec and the exact
+// command that re-executes only that run (see cmd/acic-stress).
+package stress
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+
+	"acic/internal/netsim"
+	"acic/internal/xrand"
+)
+
+// Profile names one adversarial latency perturbation. Profiles are
+// deterministic: the jitter applied to the n-th message of a (src, dst)
+// pair depends only on (seed, src, dst, n), never on scheduling order, so
+// a seed replays the same perturbation even though the interleaving of
+// concurrent senders varies.
+type Profile string
+
+const (
+	// ProfileNone leaves the latency model untouched (control group).
+	ProfileNone Profile = "none"
+	// ProfileUniform adds bounded uniform jitter to every message — the
+	// generic noisy-fabric schedule.
+	ProfileUniform Profile = "uniform"
+	// ProfileStallTier stalls every message of one seed-chosen
+	// communication tier by two orders of magnitude, modeling a congested
+	// interconnect level: work racing ahead of a slow tier is exactly the
+	// delayed-update regime of Blanco et al.
+	ProfileStallTier Profile = "stall-tier"
+	// ProfileReorder quantizes jittered deadlines onto a coarse grid so
+	// that many unrelated messages collide on equal deadlines, forcing the
+	// fabric to break mass ties — the per-lane seq tiebreak, exercised at
+	// zero jitter only for same-instant sends, carries whole batches here.
+	ProfileReorder Profile = "reorder"
+	// ProfileBurst alternates hold-back and release phases per pair:
+	// blocks of messages are stalled together and then drain as a burst,
+	// the arrival pattern that floods mailboxes and quiescence windows.
+	ProfileBurst Profile = "burst"
+)
+
+// Profiles returns every adversarial profile (excluding ProfileNone),
+// in the order the stress matrix enumerates them.
+func Profiles() []Profile {
+	return []Profile{ProfileUniform, ProfileStallTier, ProfileReorder, ProfileBurst}
+}
+
+// ParseProfile validates a profile name.
+func ParseProfile(s string) (Profile, error) {
+	switch p := Profile(s); p {
+	case ProfileNone, ProfileUniform, ProfileStallTier, ProfileReorder, ProfileBurst:
+		return p, nil
+	}
+	return "", fmt.Errorf("stress: unknown profile %q (have none, uniform, stall-tier, reorder, burst)", s)
+}
+
+// msgJitter derives the deterministic per-message random word: it depends
+// only on (seed, src, dst, n), so replays under any goroutine interleaving
+// perturb each message identically.
+func msgJitter(seed uint64, pair int, n uint64) uint64 {
+	return xrand.NewSplitMix64(seed ^ (uint64(pair)+1)*0x9e3779b97f4a7c15 ^ (n+1)*0xbf58476d1ce4e5b9).Next()
+}
+
+// jitterState carries the per-pair message counters a JitterFunc needs to
+// identify the n-th send of each pair without depending on global order.
+type jitterState struct {
+	seed  uint64
+	topo  netsim.Topology
+	pairs []atomic.Uint64
+}
+
+func newJitterState(seed uint64, topo netsim.Topology) *jitterState {
+	n := topo.TotalPEs()
+	return &jitterState{seed: seed, topo: topo, pairs: make([]atomic.Uint64, n*n)}
+}
+
+// next returns the per-message random word and the message's per-pair index.
+func (js *jitterState) next(src, dst int) (word, n uint64) {
+	pair := src*js.topo.TotalPEs() + dst
+	n = js.pairs[pair].Add(1) - 1
+	return msgJitter(js.seed, pair, n), n
+}
+
+// NewJitter builds the netsim.JitterFunc implementing profile, seeded with
+// seed over topo. ProfileNone returns nil (no hook installed). The returned
+// function is safe for concurrent use; FIFO per (src, dst) pair is enforced
+// by the fabric itself, so profiles are free to hand out non-monotone
+// delays.
+func NewJitter(profile Profile, seed uint64, topo netsim.Topology) netsim.JitterFunc {
+	if profile == ProfileNone {
+		return nil
+	}
+	js := newJitterState(seed, topo)
+	const (
+		uniformSpan = 30 * time.Microsecond
+		lightSpan   = 5 * time.Microsecond
+		stall       = 400 * time.Microsecond
+		grid        = 20 * time.Microsecond
+		burstStall  = 300 * time.Microsecond
+		burstBlock  = 32
+	)
+	switch profile {
+	case ProfileUniform:
+		return func(src, dst, size int, base time.Duration) time.Duration {
+			w, _ := js.next(src, dst)
+			return base + time.Duration(w%uint64(uniformSpan))
+		}
+	case ProfileStallTier:
+		// The stalled tier is itself seed-chosen among the non-self tiers.
+		stalled := netsim.Tier(1 + xrand.NewSplitMix64(seed).Next()%3)
+		return func(src, dst, size int, base time.Duration) time.Duration {
+			w, _ := js.next(src, dst)
+			if js.topo.TierOf(src, dst) == stalled {
+				return base + stall + time.Duration(w%uint64(stall))
+			}
+			return base + time.Duration(w%uint64(lightSpan))
+		}
+	case ProfileReorder:
+		return func(src, dst, size int, base time.Duration) time.Duration {
+			w, _ := js.next(src, dst)
+			d := base + time.Duration(w%uint64(2*grid))
+			return d / grid * grid // quantize: mass equal-deadline collisions
+		}
+	case ProfileBurst:
+		return func(src, dst, size int, base time.Duration) time.Duration {
+			w, n := js.next(src, dst)
+			if (n/burstBlock)%2 == 1 {
+				return base + burstStall + time.Duration(w%uint64(lightSpan))
+			}
+			return time.Duration(w % uint64(lightSpan))
+		}
+	}
+	panic(fmt.Sprintf("stress: unknown profile %q", profile))
+}

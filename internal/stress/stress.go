@@ -1,0 +1,319 @@
+package stress
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"acic/internal/cc"
+	"acic/internal/core"
+	"acic/internal/delta2d"
+	"acic/internal/deltastep"
+	"acic/internal/distctrl"
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/kla"
+	"acic/internal/netsim"
+	"acic/internal/runtime"
+	"acic/internal/seq"
+	"acic/internal/tram"
+	"acic/internal/xrand"
+)
+
+// Options configure one harness invocation. The zero value is not useful;
+// cmd/acic-stress fills it from flags.
+type Options struct {
+	// Seed determines the entire matrix: graph structure, sources, jitter
+	// streams. The same (Seed, Rounds, Profiles, Short) enumeration always
+	// produces the same runs.
+	Seed uint64
+	// Rounds is the number of full passes over the algorithm × topology ×
+	// graph × profile matrix; each pass draws fresh per-run seeds.
+	Rounds int
+	// Profiles restricts the jitter profiles; nil means Profiles().
+	Profiles []Profile
+	// Short shrinks the matrix and the graphs for a CI-speed smoke pass.
+	Short bool
+	// Only, when non-nil, replays exactly one run index from the
+	// enumeration — the counterexample-replay workflow. (A pointer so the
+	// zero Options value means "all runs", while run index 0 stays
+	// addressable.)
+	Only *int
+	// Timeout bounds one run's wall time; a run that exceeds it is
+	// reported as a hang (the loud failure mode message loss produces).
+	// Zero means 60s.
+	Timeout time.Duration
+	// Log receives one line per run when Verbose, and failure detail
+	// always; nil means discard.
+	Log     io.Writer
+	Verbose bool
+}
+
+// Spec identifies one run of the matrix. Seed alone fully determines the
+// run's graph, source, and jitter stream.
+type Spec struct {
+	Index   int
+	Algo    string
+	Graph   string
+	Topo    string
+	Profile Profile
+	Seed    uint64
+}
+
+func (s Spec) String() string {
+	return fmt.Sprintf("run=%d algo=%s graph=%s topo=%s profile=%s seed=%#x",
+		s.Index, s.Algo, s.Graph, s.Topo, s.Profile, s.Seed)
+}
+
+// Failure is one run that violated the oracle or a conservation invariant.
+type Failure struct {
+	Spec Spec
+	Err  error
+}
+
+// Report summarizes a harness invocation.
+type Report struct {
+	Total    int
+	Failures []Failure
+}
+
+// Algorithms lists the six drivers the matrix exercises, plus the raw
+// fabric hammer that stresses the delay-queue layer beneath them.
+func Algorithms() []string {
+	return []string{"fabric", "acic", "deltastep", "delta2d", "distctrl", "kla", "cc"}
+}
+
+func topoByName(name string) netsim.Topology {
+	switch name {
+	case "single4":
+		return netsim.SingleNode(4)
+	case "single8":
+		return netsim.SingleNode(8)
+	case "paper1":
+		return netsim.PaperNode(1)
+	}
+	panic(fmt.Sprintf("stress: unknown topology %q", name))
+}
+
+// enumerate builds the deterministic run list for opts. Per-run seeds are
+// derived from (master seed, index) so the list can be reconstructed — and
+// any single run replayed — from the flags alone.
+func enumerate(opts Options) []Spec {
+	topos := []string{"single4", "single8", "paper1"}
+	graphs := []string{"uniform", "erdos", "rmat", "grid", "star", "cycle"}
+	if opts.Short {
+		topos = []string{"single4"}
+		graphs = []string{"uniform", "star"}
+	}
+	profiles := opts.Profiles
+	if len(profiles) == 0 {
+		profiles = Profiles()
+	}
+	rounds := opts.Rounds
+	if rounds <= 0 {
+		rounds = 1
+	}
+	var specs []Spec
+	add := func(algo, graphName, topoName string, p Profile) {
+		idx := len(specs)
+		seed := xrand.NewSplitMix64(opts.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15).Next()
+		specs = append(specs, Spec{Index: idx, Algo: algo, Graph: graphName, Topo: topoName, Profile: p, Seed: seed})
+	}
+	for r := 0; r < rounds; r++ {
+		for _, p := range profiles {
+			// The fabric hammer runs once per profile per round, plus the
+			// tightest-timing zero-latency case.
+			add("fabric", "-", "paper1", p)
+		}
+		add("fabric", "-", "paper1", ProfileNone)
+		for _, algo := range Algorithms()[1:] {
+			for _, topoName := range topos {
+				for _, graphName := range graphs {
+					for _, p := range profiles {
+						add(algo, graphName, topoName, p)
+					}
+				}
+			}
+		}
+	}
+	return specs
+}
+
+// buildGraph constructs the named graph family from r. Sizes are drawn
+// from r too, so every seed explores a different shape.
+func buildGraph(name string, r *xrand.Rand, short bool) *graph.Graph {
+	lo, hi := 200, 900
+	if short {
+		lo, hi = 80, 250
+	}
+	n := lo + r.Intn(hi-lo)
+	cfg := gen.Config{Seed: r.Uint64(), MaxWeight: 100}
+	switch name {
+	case "uniform":
+		return gen.Uniform(n, 3*n, cfg)
+	case "erdos":
+		return gen.ErdosRenyi(n, 4*n, cfg)
+	case "rmat":
+		scale := 7
+		if !short {
+			scale = 8 + r.Intn(2)
+		}
+		return gen.RMAT(scale, 8, gen.DefaultRMAT(), cfg)
+	case "grid":
+		side := int(math.Sqrt(float64(n)))
+		return gen.Grid(side, side, cfg)
+	case "star":
+		return gen.Star(n)
+	case "cycle":
+		return gen.Cycle(n)
+	}
+	panic(fmt.Sprintf("stress: unknown graph family %q", name))
+}
+
+// Run executes the matrix and returns the report. It never returns a
+// non-nil error for run failures — those are in the report; the error is
+// reserved for invalid options.
+func Run(opts Options) (Report, error) {
+	for _, p := range opts.Profiles {
+		if _, err := ParseProfile(string(p)); err != nil {
+			return Report{}, err
+		}
+	}
+	specs := enumerate(opts)
+	if opts.Only != nil && (*opts.Only < 0 || *opts.Only >= len(specs)) {
+		return Report{}, fmt.Errorf("stress: -run %d out of range, matrix has %d runs", *opts.Only, len(specs))
+	}
+	log := opts.Log
+	if log == nil {
+		log = io.Discard
+	}
+	timeout := opts.Timeout
+	if timeout <= 0 {
+		timeout = 60 * time.Second
+	}
+	rep := Report{}
+	for _, spec := range specs {
+		if opts.Only != nil && spec.Index != *opts.Only {
+			continue
+		}
+		rep.Total++
+		err := runWithTimeout(spec, opts.Short, timeout)
+		if err != nil {
+			rep.Failures = append(rep.Failures, Failure{Spec: spec, Err: err})
+			fmt.Fprintf(log, "FAIL %s\n     %v\n", spec, err)
+		} else if opts.Verbose {
+			fmt.Fprintf(log, "ok   %s\n", spec)
+		}
+	}
+	return rep, nil
+}
+
+// runWithTimeout guards one run with a wall-clock watchdog: the loud
+// failure mode of a lost or miscounted message is a hang (quiescence never
+// fires because the counters stay unequal), which must surface as a
+// replayable failure, not stall the harness. A timed-out run's goroutine is
+// abandoned; acceptable for a stress tool already on its failure path.
+func runWithTimeout(spec Spec, short bool, timeout time.Duration) error {
+	done := make(chan error, 1)
+	go func() { done <- runSpec(spec, short) }()
+	select {
+	case err := <-done:
+		return err
+	case <-time.After(timeout):
+		return fmt.Errorf("hang: no termination after %v (lost or unaccounted message keeps the quiescence counters unequal)", timeout)
+	}
+}
+
+// runSpec executes one run and applies the oracle and invariant checks.
+func runSpec(spec Spec, short bool) error {
+	if spec.Algo == "fabric" {
+		return fabricStress(spec.Seed, spec.Profile, short)
+	}
+	r := xrand.New(spec.Seed)
+	topo := topoByName(spec.Topo)
+	g := buildGraph(spec.Graph, r, short)
+	src := r.Intn(g.NumVertices())
+	jit := NewJitter(spec.Profile, r.Uint64(), topo)
+	lat := netsim.DefaultLatency()
+
+	var (
+		dist  []float64
+		audit runtime.Audit
+		ts    tram.Stats
+		err   error
+	)
+	switch spec.Algo {
+	case "acic":
+		var res *core.Result
+		res, err = core.Run(g, src, core.Options{Topo: topo, Latency: lat, Jitter: jit})
+		if err == nil {
+			dist, audit, ts = res.Dist, res.Stats.Audit, res.Stats.TramStats
+		}
+	case "deltastep":
+		var res *deltastep.Result
+		res, err = deltastep.Run(g, src, deltastep.Options{Topo: topo, Latency: lat, Jitter: jit})
+		if err == nil {
+			dist, audit, ts = res.Dist, res.Stats.Audit, res.Stats.TramStats
+		}
+	case "delta2d":
+		var res *delta2d.Result
+		res, err = delta2d.Run(g, src, delta2d.Options{Topo: topo, Latency: lat, Jitter: jit})
+		if err == nil {
+			dist, audit, ts = res.Dist, res.Stats.Audit, res.Stats.TramStats
+		}
+	case "distctrl":
+		var res *distctrl.Result
+		res, err = distctrl.Run(g, src, distctrl.Options{Topo: topo, Latency: lat, Jitter: jit})
+		if err == nil {
+			dist, audit, ts = res.Dist, res.Stats.Audit, res.Stats.TramStats
+		}
+	case "kla":
+		var res *kla.Result
+		res, err = kla.Run(g, src, kla.Options{Topo: topo, Latency: lat, Jitter: jit})
+		if err == nil {
+			dist, audit, ts = res.Dist, res.Stats.Audit, res.Stats.TramStats
+		}
+	case "cc":
+		var res *cc.Result
+		res, err = cc.Run(g, cc.Options{Topo: topo, Latency: lat, Jitter: jit})
+		if err != nil {
+			return err
+		}
+		want := cc.SequentialCC(g)
+		for v := range want {
+			if res.Labels[v] != want[v] {
+				return fmt.Errorf("oracle: label[%d] = %d, want %d", v, res.Labels[v], want[v])
+			}
+		}
+		return checkInvariants(res.Stats.Audit, res.Stats.TramStats)
+	default:
+		return fmt.Errorf("stress: unknown algorithm %q", spec.Algo)
+	}
+	if err != nil {
+		return err
+	}
+	want := seq.Dijkstra(g, src)
+	if i := seq.FirstMismatch(want.Dist, dist); i >= 0 {
+		return fmt.Errorf("oracle: dist[%d] = %g, want %g (source %d)", i, dist[i], want.Dist[i], src)
+	}
+	return checkInvariants(audit, ts)
+}
+
+// checkInvariants audits the conservation ledger of a completed run.
+func checkInvariants(a runtime.Audit, ts tram.Stats) error {
+	if u := a.Unaccounted(); u != 0 {
+		return fmt.Errorf("conservation: %d messages unaccounted (sent=%d delivered=%d netq=%d netdrop=%d backlog=%d droppedAtExit=%d)",
+			u, a.Sent, a.Delivered, a.NetQueue, a.NetDropped, a.MailboxBacklog, a.DroppedAtExit)
+	}
+	if a.NetQueue != 0 {
+		return fmt.Errorf("conservation: fabric not drained, NetQueue=%d after Close", a.NetQueue)
+	}
+	if a.NetDropped != 0 {
+		return fmt.Errorf("conservation: fabric dropped %d messages without an injected filter", a.NetDropped)
+	}
+	if ts.PoolGets != ts.PoolPuts {
+		return fmt.Errorf("tram pool leak: PoolGets=%d PoolPuts=%d", ts.PoolGets, ts.PoolPuts)
+	}
+	return nil
+}

@@ -1,0 +1,111 @@
+package stress
+
+import (
+	"testing"
+	"time"
+)
+
+func TestParseProfile(t *testing.T) {
+	for _, p := range append(Profiles(), ProfileNone) {
+		got, err := ParseProfile(string(p))
+		if err != nil || got != p {
+			t.Errorf("ParseProfile(%q) = (%v, %v)", p, got, err)
+		}
+	}
+	if _, err := ParseProfile("bogus"); err == nil {
+		t.Error("unknown profile accepted")
+	}
+}
+
+// TestEnumerateDeterministic pins the replay contract: the same options
+// must enumerate the identical run list — specs, order, and per-run seeds —
+// because a printed "-run N" replay command depends on it.
+func TestEnumerateDeterministic(t *testing.T) {
+	opts := Options{Seed: 42, Rounds: 2, Short: true}
+	a, b := enumerate(opts), enumerate(opts)
+	if len(a) != len(b) || len(a) == 0 {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("spec %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+		if a[i].Index != i {
+			t.Errorf("spec %d has Index %d", i, a[i].Index)
+		}
+	}
+	// Different master seeds must draw different per-run seeds.
+	c := enumerate(Options{Seed: 43, Rounds: 2, Short: true})
+	if c[0].Seed == a[0].Seed {
+		t.Error("per-run seed did not change with master seed")
+	}
+}
+
+// TestJitterDeterministicPerMessage checks the per-message independence the
+// replay story needs: the delay assigned to the n-th message of a pair
+// depends only on (seed, pair, n), not on the order in which other pairs'
+// messages interleave with it.
+func TestJitterDeterministicPerMessage(t *testing.T) {
+	topo := topoByName("single4")
+	for _, p := range Profiles() {
+		j1 := NewJitter(p, 7, topo)
+		j2 := NewJitter(p, 7, topo)
+		base := 3 * time.Microsecond
+		// Stream 1: pair (0,1) alone. Stream 2: pair (0,1) interleaved with
+		// (2,3) traffic. Same per-pair delays must come out.
+		var a, b []time.Duration
+		for i := 0; i < 50; i++ {
+			a = append(a, j1(0, 1, 1, base))
+		}
+		for i := 0; i < 50; i++ {
+			b = append(b, j2(0, 1, 1, base))
+			j2(2, 3, 1, base)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Errorf("%s: message %d of pair (0,1) jittered differently under interleaving: %v vs %v", p, i, a[i], b[i])
+				break
+			}
+		}
+	}
+}
+
+// TestRunShortSmoke exercises the full short matrix once — every algorithm,
+// every profile, oracle and conservation checks — as the suite-level
+// guarantee that the harness itself stays runnable.
+func TestRunShortSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("the short matrix still runs every algorithm; skip under -short")
+	}
+	rep, err := Run(Options{Seed: 1, Short: true, Timeout: 2 * time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total == 0 {
+		t.Fatal("no runs executed")
+	}
+	for _, f := range rep.Failures {
+		t.Errorf("FAIL %s: %v", f.Spec, f.Err)
+	}
+}
+
+// TestRunOnlySelectsSingleRun pins the -run replay path.
+func TestRunOnlySelectsSingleRun(t *testing.T) {
+	zero, huge := 0, 10_000
+	rep, err := Run(Options{Seed: 1, Short: true, Only: &zero, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 1 {
+		t.Errorf("Total = %d, want 1", rep.Total)
+	}
+	if _, err := Run(Options{Seed: 1, Short: true, Only: &huge}); err == nil {
+		t.Error("out-of-range -run accepted")
+	}
+}
+
+func TestRunRejectsBadProfile(t *testing.T) {
+	if _, err := Run(Options{Seed: 1, Profiles: []Profile{"bogus"}}); err == nil {
+		t.Error("bad profile accepted")
+	}
+}

@@ -18,4 +18,8 @@ go test ./...
 echo "== race detector (all packages) =="
 go test -race ./...
 
+echo "== schedule-stress harness (short matrix) =="
+go run ./cmd/acic-stress -short
+go run -race ./cmd/acic-stress -short -seed 2
+
 echo "== ci green =="
