@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 	"strings"
@@ -25,6 +26,7 @@ import (
 	"acic/internal/gen"
 	"acic/internal/graph"
 	"acic/internal/kla"
+	"acic/internal/metrics"
 	"acic/internal/netsim"
 	"acic/internal/seq"
 	"acic/internal/trace"
@@ -53,8 +55,14 @@ func main() {
 		verify     = flag.Bool("verify", false, "check distances against Dijkstra")
 		printDist  = flag.Int("printdist", 0, "print the first N distances")
 		traceSum   = flag.Bool("tracesummary", false, "print per-PE scheduling summary after an ACIC run")
+		traceOut   = flag.String("trace-chrome", "", "write the ACIC run's timeline as a Chrome/Perfetto trace to FILE")
+		metricsOut = flag.String("metrics-out", "", "write the ACIC run's metrics registry snapshot (JSON) to FILE")
+		auditOut   = flag.String("audit-out", "", "write per-reduction threshold audit records to FILE (JSONL, or CSV when FILE ends in .csv)")
 	)
 	flag.Parse()
+	if *algo != "acic" && (*traceOut != "" || *metricsOut != "" || *auditOut != "") {
+		fail(fmt.Errorf("-trace-chrome/-metrics-out/-audit-out instrument the acic algorithm only (got -algo %s)", *algo))
+	}
 
 	g, err := loadGraph(*input, *vertices, *kind, *scale, *edgeFactor, *seed)
 	if err != nil {
@@ -74,18 +82,43 @@ func main() {
 		p.PTram, p.PPQ = *ptram, *ppq
 		p.TramCapacity = *bufSize
 		p.TramMode = tramMode
+		p.AuditTrace = *auditOut != ""
 		opts := core.Options{Topo: topo, Latency: latency, Params: p}
 		var rec *trace.Recorder
-		if *traceSum {
+		if *traceSum || *traceOut != "" {
 			rec = trace.New(topo.TotalPEs(), 1<<16)
 			opts.Trace = rec
+		}
+		var reg *metrics.Registry
+		if *metricsOut != "" {
+			reg = metrics.New(topo.TotalPEs())
+			opts.Metrics = reg
 		}
 		res, err := core.Run(g, *source, opts)
 		if err != nil {
 			fail(err)
 		}
-		if rec != nil {
+		if rec != nil && *traceSum {
 			if err := rec.WriteSummary(os.Stdout); err != nil {
+				fail(err)
+			}
+		}
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, rec.WriteChrome); err != nil {
+				fail(err)
+			}
+		}
+		if reg != nil {
+			if err := writeFileWith(*metricsOut, reg.Snapshot().WriteJSON); err != nil {
+				fail(err)
+			}
+		}
+		if *auditOut != "" {
+			writer := func(w io.Writer) error { return core.WriteAuditJSONL(w, res.Stats.AuditTrace) }
+			if strings.HasSuffix(*auditOut, ".csv") {
+				writer = func(w io.Writer) error { return core.WriteAuditCSV(w, res.Stats.AuditTrace) }
+			}
+			if err := writeFileWith(*auditOut, writer); err != nil {
 				fail(err)
 			}
 		}
@@ -224,6 +257,20 @@ func summarize(dist []float64) (reached int, sum float64) {
 		}
 	}
 	return reached, sum
+}
+
+// writeFileWith creates path and streams write's output into it, returning
+// the first error from either the writer or the file.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 func fail(err error) {

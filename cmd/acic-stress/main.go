@@ -40,17 +40,19 @@ func run(args []string, out *os.File) int {
 		only     = fs.Int("run", -1, "replay exactly one run index from the matrix")
 		timeout  = fs.Duration("timeout", 60*time.Second, "per-run hang watchdog")
 		verbose  = fs.Bool("v", false, "log every run, not only failures")
+		artDir   = fs.String("artifacts", "", "replay failing acic runs instrumented and dump trace/metrics/audit under DIR/run-N/")
 	)
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	opts := stress.Options{
-		Seed:    *seed,
-		Rounds:  *runs,
-		Short:   *short,
-		Timeout: *timeout,
-		Log:     out,
-		Verbose: *verbose,
+		Seed:        *seed,
+		Rounds:      *runs,
+		Short:       *short,
+		Timeout:     *timeout,
+		Log:         out,
+		Verbose:     *verbose,
+		ArtifactDir: *artDir,
 	}
 	if *only >= 0 {
 		opts.Only = only

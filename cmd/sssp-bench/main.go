@@ -14,6 +14,7 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -21,6 +22,7 @@ import (
 
 	"acic/internal/bench"
 	"acic/internal/collect"
+	"acic/internal/core"
 )
 
 func main() {
@@ -35,6 +37,10 @@ func main() {
 		verify = flag.Bool("verify", false, "verify every run against Dijkstra")
 		f3dur  = flag.Duration("fig3window", 2*time.Second, "measurement window per Fig 3 point")
 		cost   = flag.Duration("cost", -1, "simulated per-update compute cost (-1 = config default)")
+
+		traceOut   = flag.String("trace-chrome", "", "capture one instrumented ACIC run and write its Chrome/Perfetto trace to FILE")
+		metricsOut = flag.String("metrics-out", "", "capture one instrumented ACIC run and write its metrics snapshot (JSON) to FILE")
+		auditOut   = flag.String("audit-out", "", "capture one instrumented ACIC run and write its threshold audit to FILE (JSONL, or CSV when FILE ends in .csv)")
 	)
 	flag.Parse()
 
@@ -197,9 +203,53 @@ func main() {
 		}
 		emit(bench.DeltaTable(points))
 	}
+	// Observability capture: one additional fully instrumented ACIC run,
+	// written alongside whatever figures ran. With -fig none it is the
+	// whole job, so the paper's Fig 4/5 sweeps can be re-examined from the
+	// audit log without re-running the sweep (see EXPERIMENTS.md).
+	if *traceOut != "" || *metricsOut != "" || *auditOut != "" {
+		ran = true
+		art, err := cfg.CaptureArtifacts(lastNode(cfg))
+		if err != nil {
+			fail(err)
+		}
+		if *traceOut != "" {
+			if err := writeFileWith(*traceOut, art.Trace.WriteChrome); err != nil {
+				fail(err)
+			}
+		}
+		if *metricsOut != "" {
+			if err := writeFileWith(*metricsOut, art.Metrics.WriteJSON); err != nil {
+				fail(err)
+			}
+		}
+		if *auditOut != "" {
+			writer := func(w io.Writer) error { return core.WriteAuditJSONL(w, art.Audit) }
+			if strings.HasSuffix(*auditOut, ".csv") {
+				writer = func(w io.Writer) error { return core.WriteAuditCSV(w, art.Audit) }
+			}
+			if err := writeFileWith(*auditOut, writer); err != nil {
+				fail(err)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "sssp-bench: observability capture written (%d audit records)\n", len(art.Audit))
+	}
 	if !ran {
 		fail(fmt.Errorf("unknown figure selector %q", *fig))
 	}
+}
+
+// writeFileWith creates path and streams write's output into it.
+func writeFileWith(path string, write func(io.Writer) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // lastNode picks the largest configured node count — the ablations are

@@ -46,6 +46,8 @@ var Packages = map[string]bool{
 	"acic/internal/collect":   true,
 	"acic/internal/bench":     true,
 	"acic/internal/stress":    true,
+	"acic/internal/metrics":   true,
+	"acic/internal/trace":     true,
 }
 
 // forbidden lists the time functions whose results depend on the wall clock

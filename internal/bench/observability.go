@@ -1,0 +1,52 @@
+package bench
+
+import (
+	"acic/internal/core"
+	"acic/internal/metrics"
+	"acic/internal/trace"
+)
+
+// Artifacts is one instrumented ACIC run's full observability capture: the
+// scheduling timeline (exportable as a Chrome/Perfetto trace), the metrics
+// registry snapshot, and the per-reduction threshold audit. sssp-bench
+// writes these next to the figure tables so a sweep's headline numbers can
+// be cross-examined against what the machine actually did.
+type Artifacts struct {
+	Trace   *trace.Recorder
+	Metrics metrics.Snapshot
+	Audit   []core.ThresholdAudit
+}
+
+// CaptureArtifacts runs one fully instrumented ACIC trial on the suite's
+// RMAT graph at the given node count with the tuned parameters, and
+// returns the three artifacts. The run is additional to (and independent
+// of) any figure experiment.
+func (c Config) CaptureArtifacts(nodes int) (*Artifacts, error) {
+	g, err := c.MakeGraph(RMAT, 0)
+	if err != nil {
+		return nil, err
+	}
+	topo := c.Topo(nodes)
+	p := c.acicParams()
+	p.AuditTrace = true
+	reg := metrics.New(topo.TotalPEs())
+	rec := trace.New(topo.TotalPEs(), 1<<16)
+	res, err := core.Run(g, 0, core.Options{
+		Topo:    topo,
+		Latency: c.Latency,
+		Params:  p,
+		Trace:   rec,
+		Metrics: reg,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := c.verifyDist(g, 0, res.Dist, "acic"); err != nil {
+		return nil, err
+	}
+	return &Artifacts{
+		Trace:   rec,
+		Metrics: reg.Snapshot(),
+		Audit:   res.Stats.AuditTrace,
+	}, nil
+}

@@ -26,6 +26,7 @@ import (
 	"time"
 
 	"acic/internal/histogram"
+	"acic/internal/metrics"
 	"acic/internal/netsim"
 	"acic/internal/runtime"
 	"acic/internal/simclock"
@@ -82,6 +83,12 @@ type Params struct {
 	// HistogramTrace records the merged global histogram at every
 	// reduction, for the Fig. 1 reproduction. Costs memory per reduction.
 	HistogramTrace bool
+	// AuditTrace records one ThresholdAudit per completed reduction — the
+	// merged histogram, the derived thresholds, the quiescence counters,
+	// and the hold populations before/after the previous broadcast's drain
+	// — exportable as JSONL/CSV (WriteAuditJSONL/WriteAuditCSV). Costs
+	// memory per reduction, like HistogramTrace.
+	AuditTrace bool
 	// SmoothThresholds selects the §V threshold-function refinement: the
 	// root derives thresholds from the whole histogram population via
 	// histogram.ComputeSmoothThresholds instead of the paper's two-tier
@@ -162,6 +169,13 @@ type Options struct {
 	// Trace, when non-nil, records per-PE scheduling events for post-run
 	// analysis (see internal/trace). It must cover Topo.TotalPEs() PEs.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives every subsystem's instruments for
+	// this run: "core." counters from the algorithm, "runtime." scheduler
+	// telemetry, "tram." aggregation counters and "netsim." traffic
+	// counters. It must cover Topo.TotalPEs() shards. Nil disables the
+	// core/runtime telemetry; tram and netsim then fall back to private
+	// registries so their Stats views keep working.
+	Metrics *metrics.Registry
 	// Clock times the run for Stats.Elapsed; nil means the wall clock.
 	Clock simclock.Clock
 	// Jitter, when non-nil, perturbs every message's delivery delay (see
@@ -197,6 +211,9 @@ type Stats struct {
 	// HistTrace holds per-reduction merged histograms when
 	// Params.HistogramTrace is set.
 	HistTrace []HistSnapshot
+	// AuditTrace holds one record per completed reduction when
+	// Params.AuditTrace is set (see ThresholdAudit).
+	AuditTrace []ThresholdAudit
 }
 
 // HistSnapshot is one recorded global histogram (Fig. 1 raw material).

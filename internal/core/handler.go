@@ -6,9 +6,11 @@ import (
 
 	"acic/internal/graph"
 	"acic/internal/histogram"
+	"acic/internal/metrics"
 	"acic/internal/partition"
 	"acic/internal/pq"
 	"acic/internal/runtime"
+	"acic/internal/trace"
 	"acic/internal/tram"
 )
 
@@ -37,15 +39,19 @@ type ctrlMsg struct {
 }
 
 // reduceVal is the per-PE contribution combined up the reduction tree.
+// holds carries each PE's hold accounting from the previous broadcast's
+// drain, so the root's audit record sees machine-wide hold populations.
 type reduceVal struct {
 	hist      *histogram.Histogram
 	finalized int64
+	holds     holdStats
 }
 
 func combineReduce(a, b any) any {
 	av, bv := a.(*reduceVal), b.(*reduceVal)
 	av.hist.Merge(bv.hist)
 	av.finalized += bv.finalized
+	av.holds.add(bv.holds)
 	return av
 }
 
@@ -71,12 +77,18 @@ type peState struct {
 	rejected    int64
 	relaxations int64
 
+	// pendingHolds is this PE's hold accounting from the most recent
+	// broadcast's drain; it rides the next contribution so the root's
+	// audit record aggregates machine-wide hold movement.
+	pendingHolds holdStats
+
 	// Root-only state (PE 0).
 	reductions     int64
 	prevEqualSum   int64
 	terminated     bool
 	finalizedEarly bool
 	histTrace      []HistSnapshot
+	auditTrace     []ThresholdAudit
 }
 
 // Partition abstracts vertex-to-PE placement so ACIC can run on the
@@ -101,6 +113,39 @@ type sharedState struct {
 	part Partition
 	tm   *tram.Manager[Update]
 	rt   *runtime.Runtime
+	tr   *trace.Recorder
+	met  coreMetrics
+}
+
+// coreMetrics are the algorithm's own instruments, nil (free no-ops) when
+// the run has no metrics registry. They mirror the per-PE fields the
+// driver sums after the run, but are observable mid-run and per PE — the
+// histogram additionally records the size distribution of received update
+// batches, the quantity tram's aggregation trades latency for.
+type coreMetrics struct {
+	created     *metrics.Counter
+	processed   *metrics.Counter
+	rejected    *metrics.Counter
+	relaxations *metrics.Counter
+	tramParked  *metrics.Counter
+	pqParked    *metrics.Counter
+	holdDrained *metrics.Counter
+	reductions  *metrics.Counter
+	batchItems  *metrics.Histogram
+}
+
+func newCoreMetrics(reg *metrics.Registry) coreMetrics {
+	return coreMetrics{
+		created:     reg.Counter("core.updates_created"),
+		processed:   reg.Counter("core.updates_processed"),
+		rejected:    reg.Counter("core.updates_rejected"),
+		relaxations: reg.Counter("core.relaxations"),
+		tramParked:  reg.Counter("core.tram_hold_parked"),
+		pqParked:    reg.Counter("core.pq_hold_parked"),
+		holdDrained: reg.Counter("core.hold_drained"),
+		reductions:  reg.Counter("core.reductions"),
+		batchItems:  reg.Histogram("core.batch_items"),
+	}
 }
 
 var _ runtime.Handler = (*peState)(nil)
@@ -156,9 +201,11 @@ func (st *peState) Deliver(pe *runtime.PE, msg any) {
 // after seeding, closing the empty-start termination race.
 func (st *peState) seed(pe *runtime.PE, source int32) {
 	st.hist.AddCreated(0)
+	st.shared.met.created.Inc(st.me)
 	st.setDist(source, 0)
 	st.relaxOutEdges(pe, source, 0)
 	st.hist.AddProcessed(0)
+	st.shared.met.processed.Inc(st.me)
 }
 
 // receiveBatch demultiplexes an arriving tram batch. Under process-
@@ -168,6 +215,7 @@ func (st *peState) seed(pe *runtime.PE, source int32) {
 func (st *peState) receiveBatch(pe *runtime.PE, items []Update) {
 	var forwards map[int][]Update
 	me := pe.Index()
+	st.shared.met.batchItems.Observe(me, int64(len(items)))
 	for _, u := range items {
 		owner := st.shared.part.Owner(u.Vertex)
 		if owner == me {
@@ -202,11 +250,14 @@ func (st *peState) receiveUpdate(pe *runtime.PE, u Update) {
 			st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
 		} else {
 			st.pqHold[b] = append(st.pqHold[b], u)
+			st.shared.met.pqParked.Inc(st.me)
 		}
 		return
 	}
 	st.rejected++
 	st.hist.AddProcessed(u.Dist)
+	st.shared.met.rejected.Inc(st.me)
+	st.shared.met.processed.Inc(st.me)
 }
 
 // Idle implements the paper's idle trigger: pop the lowest-distance update
@@ -226,6 +277,7 @@ func (st *peState) Idle(pe *runtime.PE) bool {
 	// Either way the update's processing is now complete: superseded
 	// entries produce no onward updates.
 	st.hist.AddProcessed(d)
+	st.shared.met.processed.Inc(st.me)
 	return true
 }
 
@@ -237,6 +289,7 @@ func (st *peState) relaxOutEdges(pe *runtime.PE, v int32, d float64) {
 		st.createUpdate(pe, Update{Vertex: w, Pred: v, Dist: d + ws[i]})
 	}
 	st.relaxations += int64(len(ts))
+	st.shared.met.relaxations.Add(st.me, int64(len(ts)))
 	if st.params.ComputeCost > 0 {
 		pe.Work(time.Duration(len(ts)) * st.params.ComputeCost)
 	}
@@ -246,10 +299,12 @@ func (st *peState) relaxOutEdges(pe *runtime.PE, v int32, d float64) {
 // to tramlib (bucket within t_tram) or parks it in tram_hold.
 func (st *peState) createUpdate(pe *runtime.PE, u Update) {
 	st.hist.AddCreated(u.Dist)
+	st.shared.met.created.Inc(st.me)
 	if b := st.hist.BucketOf(u.Dist); b <= st.tTram {
 		st.tramInsert(pe, u)
 	} else {
 		st.tramHold[b] = append(st.tramHold[b], u)
+		st.shared.met.tramParked.Inc(st.me)
 	}
 }
 
@@ -263,11 +318,21 @@ func (st *peState) tramInsert(pe *runtime.PE, u Update) {
 // contribute snapshots the local histogram (and, optionally, the count of
 // locally finalized vertices) into reduction epoch.
 func (st *peState) contribute(pe *runtime.PE, epoch int64) {
-	rv := &reduceVal{hist: st.hist.Snapshot()}
+	rv := &reduceVal{hist: st.hist.Snapshot(), holds: st.pendingHolds}
+	st.pendingHolds = holdStats{}
 	if st.params.TerminateOnAllFinal {
 		rv.finalized = st.countFinalized()
 	}
 	pe.Contribute(epoch, rv)
+}
+
+// countHeld sums a hold's population across all buckets.
+func countHeld(hold [][]Update) int64 {
+	var n int64
+	for _, b := range hold {
+		n += int64(len(b))
+	}
+	return n
 }
 
 // countFinalized counts local vertices whose distance is already below
@@ -292,6 +357,7 @@ func (st *peState) OnReduction(pe *runtime.PE, epoch int64, value any) {
 	rv := value.(*reduceVal)
 	global := rv.hist
 	st.reductions++
+	st.shared.met.reductions.Inc(st.me)
 
 	ctrl := ctrlMsg{}
 
@@ -326,6 +392,11 @@ func (st *peState) OnReduction(pe *runtime.PE, epoch int64, value any) {
 		ctrl.lowestActive = float64(lb) * global.Width()
 	} else {
 		ctrl.lowestActive = math.Inf(1)
+	}
+
+	if st.params.AuditTrace {
+		st.auditTrace = append(st.auditTrace,
+			newThresholdAudit(epoch, global, rv.holds, ctrl.thresholds))
 	}
 
 	if st.params.HistogramTrace {
@@ -367,6 +438,11 @@ func (st *peState) OnBroadcast(pe *runtime.PE, epoch int64, payload any) {
 	st.tPQ = ctrl.thresholds.PQ
 	st.lowestActive = ctrl.lowestActive
 
+	holds := holdStats{
+		tramHeldBefore: countHeld(st.tramHold),
+		pqHeldBefore:   countHeld(st.pqHold),
+	}
+
 	// Release tram holds within the new threshold, ascending buckets.
 	for b := 0; b <= st.tTram; b++ {
 		if len(st.tramHold[b]) == 0 {
@@ -375,6 +451,7 @@ func (st *peState) OnBroadcast(pe *runtime.PE, epoch int64, payload any) {
 		for _, u := range st.tramHold[b] {
 			st.tramInsert(pe, u)
 		}
+		holds.tramDrained += int64(len(st.tramHold[b]))
 		st.tramHold[b] = nil
 	}
 	// Release pq holds within the new threshold. A held update whose
@@ -387,11 +464,22 @@ func (st *peState) OnBroadcast(pe *runtime.PE, epoch int64, payload any) {
 		for _, u := range st.pqHold[b] {
 			if st.localDist(u.Vertex) < u.Dist {
 				st.hist.AddProcessed(u.Dist)
+				st.shared.met.processed.Inc(st.me)
 				continue
 			}
 			st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
 		}
+		holds.pqDrained += int64(len(st.pqHold[b]))
 		st.pqHold[b] = nil
+	}
+	holds.tramHeldAfter = holds.tramHeldBefore - holds.tramDrained
+	holds.pqHeldAfter = holds.pqHeldBefore - holds.pqDrained
+	st.pendingHolds = holds
+	if drained := holds.tramDrained + holds.pqDrained; drained > 0 {
+		st.shared.met.holdDrained.Add(st.me, drained)
+		if st.shared.tr != nil {
+			st.shared.tr.Record(st.me, trace.KindHoldDrain, drained)
+		}
 	}
 	// Explicit tram flush: guarantees buffered updates move even when the
 	// tail of the graph cannot fill a buffer.

@@ -31,7 +31,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	tm, err := tram.New[Update](topo, params.TramMode, params.TramCapacity)
+	tm, err := tram.NewWithRegistry[Update](topo, params.TramMode, params.TramCapacity, opts.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -43,6 +43,8 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		g:    g,
 		part: part,
 		tm:   tm,
+		tr:   opts.Trace,
+		met:  newCoreMetrics(opts.Metrics),
 	}
 
 	rt, err := runtime.New(runtime.Config{
@@ -51,6 +53,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		Combine: combineReduce,
 		Trace:   opts.Trace,
 		Jitter:  opts.Jitter,
+		Metrics: opts.Metrics,
 	})
 	if err != nil {
 		return nil, err
@@ -87,6 +90,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	root := states[0]
 	res.Stats.Reductions = root.reductions
 	res.Stats.HistTrace = root.histTrace
+	res.Stats.AuditTrace = root.auditTrace
 	for peIdx, st := range states {
 		for local, d := range st.dist {
 			gv := sh.part.GlobalOf(peIdx, local)

@@ -1,0 +1,54 @@
+package graph
+
+// Fuzzing the edge-list interchange format: ReadCSV faces arbitrary bytes
+// (the artifact pipeline feeds it PaRMAT output massaged by shell scripts),
+// so it must reject malformed input with an error — never a panic — and any
+// graph it does accept must survive a Write→Read round trip unchanged.
+// Build's validation (vertex bounds, finite non-negative weights) means an
+// accepted graph has only weights that "%g" formatting reproduces exactly.
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func FuzzGraphLoadCSV(f *testing.F) {
+	f.Add("0,1,2.5\n1,2\n# comment\n\n2,0,0.001\n", 3)
+	f.Add("0\t1\t1.5\n1 0 3", 2)
+	f.Add("0,0,0\n", 1)
+	f.Add("junk\n9,9,9\n-1,0\n0,1,NaN\n0,1,-2\n", 4)
+	f.Add("0,1,1e300\n1,0,4.9e-324\n", 2)
+	f.Fuzz(func(t *testing.T, data string, numVertices int) {
+		// Bound the vertex count: Build allocates offsets proportional to
+		// it, and the parser's behavior does not depend on the magnitude.
+		if numVertices < 0 {
+			numVertices = -numVertices % (1 << 16)
+		}
+		numVertices %= 1 << 16
+
+		g, err := ReadCSV(strings.NewReader(data), numVertices)
+		if err != nil {
+			return // rejected cleanly; the property is "no panic"
+		}
+
+		var buf bytes.Buffer
+		if err := WriteCSV(&buf, g); err != nil {
+			t.Fatalf("WriteCSV failed on an accepted graph: %v", err)
+		}
+		g2, err := ReadCSV(&buf, g.NumVertices())
+		if err != nil {
+			t.Fatalf("round-trip rejected WriteCSV output: %v\n%s", err, buf.String())
+		}
+		if g2.NumVertices() != g.NumVertices() || g2.NumEdges() != g.NumEdges() {
+			t.Fatalf("round-trip changed shape: %d/%d vertices, %d/%d edges",
+				g.NumVertices(), g2.NumVertices(), g.NumEdges(), g2.NumEdges())
+		}
+		e1, e2 := g.Edges(), g2.Edges()
+		for i := range e1 {
+			if e1[i].From != e2[i].From || e1[i].To != e2[i].To || e1[i].Weight != e2[i].Weight {
+				t.Fatalf("round-trip changed edge %d: %+v vs %+v", i, e1[i], e2[i])
+			}
+		}
+	})
+}

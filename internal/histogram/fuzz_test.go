@@ -1,0 +1,100 @@
+package histogram
+
+// Fuzzing Merge's algebra: the reduction tree combines per-PE histograms in
+// whatever order the spanning tree and message timing dictate, so the
+// thresholds are only well-defined if Merge is commutative and associative
+// and conserves every counter. The fuzzer builds three histograms from an
+// arbitrary operation tape — including hostile distances (NaN, ±Inf,
+// overflow-scale values) — and checks the algebra on them.
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+)
+
+// histEqual compares shape, every bucket, and both ride-along counters.
+func histEqual(a, b *Histogram) bool {
+	if a.NumBuckets() != b.NumBuckets() || a.Width() != b.Width() ||
+		a.Created != b.Created || a.Processed != b.Processed {
+		return false
+	}
+	for i := 0; i < a.NumBuckets(); i++ {
+		if a.Bucket(i) != b.Bucket(i) {
+			return false
+		}
+	}
+	return true
+}
+
+func FuzzHistogramMerge(f *testing.F) {
+	tape := []byte{8, 4}
+	for i, d := range []float64{0.5, 3.25, 1e300, math.Inf(1), math.NaN(), -2, 0} {
+		op := []byte{byte(i), byte(i >> 1)}
+		var bits [8]byte
+		binary.LittleEndian.PutUint64(bits[:], math.Float64bits(d))
+		tape = append(tape, append(op, bits[:]...)...)
+	}
+	f.Add(tape)
+	f.Add([]byte{1, 1})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		if len(data) < 2 {
+			return
+		}
+		bucketCount := int(data[0])%128 + 1
+		width := 0.25 * float64(int(data[1])%32+1)
+		hs := [3]*Histogram{New(bucketCount, width), New(bucketCount, width), New(bucketCount, width)}
+		for i := 2; i+10 <= len(data); i += 10 {
+			h := hs[int(data[i])%3]
+			d := math.Float64frombits(binary.LittleEndian.Uint64(data[i+2 : i+10]))
+			if data[i+1]%2 == 0 {
+				h.AddCreated(d)
+			} else {
+				h.AddProcessed(d)
+			}
+		}
+		a, b, c := hs[0], hs[1], hs[2]
+		aBefore, bBefore := a.Snapshot(), b.Snapshot()
+
+		// Commutativity: A+B == B+A.
+		ab := a.Snapshot()
+		ab.Merge(b)
+		ba := b.Snapshot()
+		ba.Merge(a)
+		if !histEqual(ab, ba) {
+			t.Fatalf("merge not commutative:\nA+B %v created=%d processed=%d\nB+A %v created=%d processed=%d",
+				ab, ab.Created, ab.Processed, ba, ba.Created, ba.Processed)
+		}
+
+		// Associativity: (A+B)+C == A+(B+C).
+		abc1 := ab.Snapshot()
+		abc1.Merge(c)
+		bc := b.Snapshot()
+		bc.Merge(c)
+		abc2 := a.Snapshot()
+		abc2.Merge(bc)
+		if !histEqual(abc1, abc2) {
+			t.Fatal("merge not associative")
+		}
+
+		// Conservation: every counter of the merge is the sum of the parts.
+		if got, want := abc1.Created, a.Created+b.Created+c.Created; got != want {
+			t.Fatalf("created not conserved: %d, want %d", got, want)
+		}
+		if got, want := abc1.Processed, a.Processed+b.Processed+c.Processed; got != want {
+			t.Fatalf("processed not conserved: %d, want %d", got, want)
+		}
+		if got, want := abc1.Sum(), a.Sum()+b.Sum()+c.Sum(); got != want {
+			t.Fatalf("bucket sum not conserved: %d, want %d", got, want)
+		}
+		for i := 0; i < bucketCount; i++ {
+			if got, want := abc1.Bucket(i), a.Bucket(i)+b.Bucket(i)+c.Bucket(i); got != want {
+				t.Fatalf("bucket %d not conserved: %d, want %d", i, got, want)
+			}
+		}
+		// Merging never mutates the argument, only the receiver.
+		if !histEqual(a, aBefore) || !histEqual(b, bBefore) {
+			t.Fatal("merge mutated its argument")
+		}
+	})
+}

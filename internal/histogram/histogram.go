@@ -73,16 +73,19 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 
 // BucketOf maps a distance to its bucket index, clamping to the valid range.
 // Distances beyond the last bucket accumulate in the last bucket, matching
-// the fixed 512-bucket layout of the paper.
+// the fixed 512-bucket layout of the paper. The range check happens in
+// float space: converting first would overflow int for +Inf or very large
+// d (the conversion result is implementation-defined) and index out of
+// bounds.
 func (h *Histogram) BucketOf(d float64) int {
 	if d <= 0 || math.IsNaN(d) {
 		return 0
 	}
-	b := int(d / h.width)
-	if b >= len(h.buckets) {
+	b := d / h.width
+	if b >= float64(len(h.buckets)) {
 		return len(h.buckets) - 1
 	}
-	return b
+	return int(b)
 }
 
 // AddCreated records the creation of an update with distance d: the bucket

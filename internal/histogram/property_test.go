@@ -1,0 +1,126 @@
+package histogram
+
+// Property tests of the threshold machinery, seeded through internal/xrand
+// so every run is replayable. Two monotonicity laws anchor the paper's
+// tuning story (§IV-E): raising a percentile fraction can only raise (never
+// lower) the resulting bucket threshold — otherwise the Fig 4/5 sweeps
+// would not be monotone in admitted traffic — and BucketOf must be monotone
+// in distance, or the holds would release updates out of order.
+
+import (
+	"math"
+	"testing"
+
+	"acic/internal/xrand"
+)
+
+// randomHistogram builds a histogram with a plausible mid-flight shape:
+// mostly positive buckets, a few negative ones (remote decrements racing
+// local increments), concentrated in the low buckets like real frontiers.
+func randomHistogram(r *xrand.Rand) *Histogram {
+	buckets := 8 + r.Intn(505)
+	width := r.Range(0.5, 20)
+	h := New(buckets, width)
+	n := r.Intn(2000)
+	for i := 0; i < n; i++ {
+		d := r.Exp(1.0 / (width * float64(1+r.Intn(buckets)))) // skewed low
+		if r.Intn(10) == 0 {
+			h.AddProcessed(d)
+		} else {
+			h.AddCreated(d)
+		}
+	}
+	return h
+}
+
+func TestPercentileBucketMonotoneInP(t *testing.T) {
+	r := xrand.New(0xACC)
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(r)
+		p1 := r.Range(0.001, 1)
+		p2 := r.Range(0.001, 1)
+		if p1 > p2 {
+			p1, p2 = p2, p1
+		}
+		b1, b2 := h.PercentileBucket(p1), h.PercentileBucket(p2)
+		if b1 > b2 {
+			t.Fatalf("trial %d: PercentileBucket(%g) = %d > PercentileBucket(%g) = %d",
+				trial, p1, b1, p2, b2)
+		}
+		if last := h.NumBuckets() - 1; b1 < 0 || b2 > last {
+			t.Fatalf("trial %d: threshold out of range [0,%d]: %d, %d", trial, last, b1, b2)
+		}
+	}
+}
+
+// TestThresholdsMonotoneInParams checks the user-facing law: raising
+// p_tram or p_pq never lowers the corresponding broadcast threshold, for
+// both the paper's two-tier policy and the smooth refinement. The low-
+// watermark branch is percentile-independent, so it trivially satisfies
+// the law; the interesting cases are the loaded histograms.
+func TestThresholdsMonotoneInParams(t *testing.T) {
+	r := xrand.New(0xACC2)
+	numPEs := 16
+	for trial := 0; trial < 200; trial++ {
+		h := randomHistogram(r)
+		lo := Params{PTram: r.Range(0.001, 1), PPQ: r.Range(0.001, 1), LowWatermarkPerPE: int64(r.Intn(20))}
+		hi := lo
+		hi.PTram = math.Min(1, hi.PTram+r.Range(0, 1-hi.PTram))
+		hi.PPQ = math.Min(1, hi.PPQ+r.Range(0, 1-hi.PPQ))
+		for _, compute := range []struct {
+			name string
+			fn   func(*Histogram, int, Params) Thresholds
+		}{
+			{"two-tier", ComputeThresholds},
+			{"smooth", ComputeSmoothThresholds},
+		} {
+			a := compute.fn(h, numPEs, lo)
+			b := compute.fn(h, numPEs, hi)
+			if b.Tram < a.Tram {
+				t.Fatalf("trial %d %s: raising p_tram %g→%g lowered t_tram %d→%d",
+					trial, compute.name, lo.PTram, hi.PTram, a.Tram, b.Tram)
+			}
+			if b.PQ < a.PQ {
+				t.Fatalf("trial %d %s: raising p_pq %g→%g lowered t_pq %d→%d",
+					trial, compute.name, lo.PPQ, hi.PPQ, a.PQ, b.PQ)
+			}
+		}
+	}
+}
+
+func TestBucketOfMonotoneInDistance(t *testing.T) {
+	r := xrand.New(0xACC3)
+	for trial := 0; trial < 500; trial++ {
+		h := New(1+r.Intn(512), r.Range(0.5, 10))
+		d1 := r.Range(0, 1e6)
+		d2 := r.Range(0, 1e6)
+		if d1 > d2 {
+			d1, d2 = d2, d1
+		}
+		if b1, b2 := h.BucketOf(d1), h.BucketOf(d2); b1 > b2 {
+			t.Fatalf("trial %d: BucketOf(%g) = %d > BucketOf(%g) = %d (width %g)",
+				trial, d1, b1, d2, b2, h.Width())
+		}
+	}
+
+	// Hostile inputs clamp to the ends of the range instead of panicking:
+	// the fuzzer feeds raw float bits, and historically int(d/width)
+	// overflowed for +Inf and overflow-scale distances.
+	h := New(64, 2)
+	for _, tc := range []struct {
+		d    float64
+		want int
+	}{
+		{math.NaN(), 0},
+		{-1, 0},
+		{math.Inf(-1), 0},
+		{0, 0},
+		{math.Inf(1), 63},
+		{math.MaxFloat64, 63},
+		{1e300, 63},
+	} {
+		if got := h.BucketOf(tc.d); got != tc.want {
+			t.Errorf("BucketOf(%g) = %d, want %d", tc.d, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,64 @@
+package metrics
+
+import (
+	"sync/atomic"
+	"testing"
+)
+
+// BenchmarkMetricsRegistry covers the registry's hot paths. The counter
+// increment is on the per-update path of the ACIC core, so enabled mode
+// must stay 0 allocs/op and disabled mode must collapse to a nil check.
+func BenchmarkMetricsRegistry(b *testing.B) {
+	b.Run("counter-add", func(b *testing.B) {
+		r := New(8)
+		c := r.Counter("bench.counter")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Add(3, 1)
+		}
+	})
+	b.Run("counter-add-disabled", func(b *testing.B) {
+		var r *Registry
+		c := r.Counter("bench.counter")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			c.Add(3, 1)
+		}
+	})
+	b.Run("histogram-observe", func(b *testing.B) {
+		r := New(8)
+		h := r.Histogram("bench.hist")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Observe(3, int64(i))
+		}
+	})
+	b.Run("gauge-setmax", func(b *testing.B) {
+		r := New(8)
+		g := r.Gauge("bench.gauge")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			g.SetMax(3, int64(i))
+		}
+	})
+}
+
+// BenchmarkMetricsContention measures sharding: all PEs incrementing the
+// same counter concurrently must not serialize on one cache line.
+func BenchmarkMetricsContention(b *testing.B) {
+	r := New(16)
+	c := r.Counter("bench.contended")
+	var pe atomic.Int64
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each worker claims a distinct shard, like a PE goroutine does.
+		mine := int(pe.Add(1)-1) % 16
+		for pb.Next() {
+			c.Add(mine, 1)
+		}
+	})
+}

@@ -1,0 +1,337 @@
+// Package metrics is the run-wide instrument registry behind the
+// observability layer: every subsystem of the simulated machine — the ACIC
+// core, the runtime, tramlib, the network fabric — registers named
+// counters, gauges and histograms here instead of keeping private stat
+// fields. One registry spans one run, so a single Snapshot captures the
+// whole machine's state at an instant and Diff exposes what a phase of the
+// run did.
+//
+// The design constraints come from where the instruments sit:
+//
+//   - The hot path (one counter increment per update created) must not
+//     allocate and must not contend. Every instrument is sharded per PE:
+//     a PE writes its own cache-line-padded cell with a plain atomic add,
+//     so concurrent PEs never touch the same line.
+//   - Disabled must be free. A nil *Registry hands out nil instruments,
+//     and every instrument method nil-checks its receiver, so an
+//     uninstrumented run pays one predictable branch per event.
+//   - Reads are rare and may be slow. Value() sums the cells; Snapshot()
+//     walks every instrument in registration order, which also makes the
+//     JSON export byte-stable for a deterministic run.
+//
+// Registration is idempotent by name: asking for an existing instrument
+// returns the same handle, so independent subsystems can share a registry
+// without coordinating construction order.
+package metrics
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// cell is one PE's slot of a sharded instrument. The padding keeps
+// neighboring PEs' cells on distinct cache lines; false sharing on the
+// update-creation path would otherwise serialize exactly the PEs the
+// sharding is meant to decouple.
+type cell struct {
+	v atomic.Int64
+	_ [7]uint64
+}
+
+// Registry holds the instruments of one run. The zero value is not usable;
+// construct with New. A nil *Registry is the disabled registry: its
+// instrument constructors return nil handles whose methods do nothing.
+type Registry struct {
+	numPEs int
+
+	mu     sync.Mutex
+	byName map[string]any
+	// order preserves registration order so snapshots and exports are
+	// deterministic for a deterministic run.
+	order []string
+}
+
+// New returns a Registry for a machine of numPEs processing elements.
+// It panics on a non-positive PE count.
+func New(numPEs int) *Registry {
+	if numPEs <= 0 {
+		panic(fmt.Sprintf("metrics: non-positive PE count %d", numPEs))
+	}
+	return &Registry{numPEs: numPEs, byName: make(map[string]any)}
+}
+
+// NumPEs returns the shard count, or 0 for the disabled (nil) registry.
+func (r *Registry) NumPEs() int {
+	if r == nil {
+		return 0
+	}
+	return r.numPEs
+}
+
+// register returns the existing instrument under name, or stores and
+// returns fresh. It panics if name is already bound to a different
+// instrument kind — that is always a programming error worth failing loud.
+func register[T any](r *Registry, name string, fresh func() T) T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if got, ok := r.byName[name]; ok {
+		t, ok := got.(T)
+		if !ok {
+			panic(fmt.Sprintf("metrics: %q already registered as %T", name, got))
+		}
+		return t
+	}
+	t := fresh()
+	r.byName[name] = t
+	r.order = append(r.order, name)
+	return t
+}
+
+// --- Counter ---
+
+// Counter is a monotone (by convention) sharded sum. A nil Counter is the
+// disabled instrument: Add and Inc do nothing, Value is 0.
+type Counter struct {
+	name  string
+	cells []cell
+}
+
+// Counter returns the counter registered under name, creating it on first
+// use. Returns nil on the disabled registry.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Counter {
+		return &Counter{name: name, cells: make([]cell, r.numPEs)}
+	})
+}
+
+// Add adds d to pe's shard. It is the hot-path write: one atomic add on a
+// line owned by pe, zero allocations.
+func (c *Counter) Add(pe int, d int64) {
+	if c == nil {
+		return
+	}
+	c.cells[pe].v.Add(d)
+}
+
+// Inc adds 1 to pe's shard.
+func (c *Counter) Inc(pe int) { c.Add(pe, 1) }
+
+// Value returns the sum over all shards. Mid-run the sum is a consistent
+// total only to within in-flight increments; after the run it is exact.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	var s int64
+	for i := range c.cells {
+		s += c.cells[i].v.Load()
+	}
+	return s
+}
+
+// PerPE returns the per-shard values. Returns nil for the disabled
+// instrument.
+func (c *Counter) PerPE() []int64 {
+	if c == nil {
+		return nil
+	}
+	out := make([]int64, len(c.cells))
+	for i := range c.cells {
+		out[i] = c.cells[i].v.Load()
+	}
+	return out
+}
+
+// Name returns the registered name, or "" for the disabled instrument.
+func (c *Counter) Name() string {
+	if c == nil {
+		return ""
+	}
+	return c.name
+}
+
+// --- Gauge ---
+
+// Gauge is a sharded last-or-extreme value: Set overwrites a shard, SetMax
+// ratchets it upward. Value sums the shards (right for "current held
+// items" style gauges where each PE owns a disjoint part) and Max takes
+// the largest shard (right for high-water marks). A nil Gauge does
+// nothing.
+type Gauge struct {
+	name  string
+	cells []cell
+}
+
+// Gauge returns the gauge registered under name, creating it on first use.
+// Returns nil on the disabled registry.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Gauge {
+		return &Gauge{name: name, cells: make([]cell, r.numPEs)}
+	})
+}
+
+// Set stores v in pe's shard.
+func (g *Gauge) Set(pe int, v int64) {
+	if g == nil {
+		return
+	}
+	g.cells[pe].v.Store(v)
+}
+
+// Add adjusts pe's shard by d (gauges may go down; counters may not).
+func (g *Gauge) Add(pe int, d int64) {
+	if g == nil {
+		return
+	}
+	g.cells[pe].v.Add(d)
+}
+
+// SetMax ratchets pe's shard up to at least v.
+func (g *Gauge) SetMax(pe int, v int64) {
+	if g == nil {
+		return
+	}
+	c := &g.cells[pe].v
+	for {
+		cur := c.Load()
+		if v <= cur || c.CompareAndSwap(cur, v) {
+			return
+		}
+	}
+}
+
+// Value returns the sum over all shards.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	var s int64
+	for i := range g.cells {
+		s += g.cells[i].v.Load()
+	}
+	return s
+}
+
+// Max returns the largest shard value.
+func (g *Gauge) Max() int64 {
+	if g == nil {
+		return 0
+	}
+	var m int64
+	for i := range g.cells {
+		if v := g.cells[i].v.Load(); v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// PerPE returns the per-shard values, or nil for the disabled instrument.
+func (g *Gauge) PerPE() []int64 {
+	if g == nil {
+		return nil
+	}
+	out := make([]int64, len(g.cells))
+	for i := range g.cells {
+		out[i] = g.cells[i].v.Load()
+	}
+	return out
+}
+
+// Name returns the registered name, or "" for the disabled instrument.
+func (g *Gauge) Name() string {
+	if g == nil {
+		return ""
+	}
+	return g.name
+}
+
+// --- Histogram ---
+
+// HistogramBuckets is the bucket count of a metrics histogram: one bucket
+// per power of two, enough for any int64 observation.
+const HistogramBuckets = 64
+
+// Histogram counts observations in power-of-two buckets: an observation v
+// lands in bucket ⌈log2(v+1)⌉, so bucket 0 holds v==0, bucket 1 holds
+// v==1, bucket 2 holds v∈{2,3}, and so on. Each PE owns a private bucket
+// row, padded apart from its neighbors. A nil Histogram does nothing.
+type Histogram struct {
+	name string
+	rows []histRow
+}
+
+type histRow struct {
+	buckets [HistogramBuckets]atomic.Int64
+	_       [8]uint64
+}
+
+// Histogram returns the histogram registered under name, creating it on
+// first use. Returns nil on the disabled registry.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	return register(r, name, func() *Histogram {
+		return &Histogram{name: name, rows: make([]histRow, r.numPEs)}
+	})
+}
+
+// bucketOf maps an observation to its power-of-two bucket. Negative
+// observations clamp to bucket 0.
+func bucketOf(v int64) int {
+	if v <= 0 {
+		return 0
+	}
+	b := 0
+	for u := uint64(v); u > 0; u >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Observe records v into pe's row: one atomic add, zero allocations.
+func (h *Histogram) Observe(pe int, v int64) {
+	if h == nil {
+		return
+	}
+	h.rows[pe].buckets[bucketOf(v)].Add(1)
+}
+
+// Buckets returns the bucket counts summed over all PEs.
+func (h *Histogram) Buckets() [HistogramBuckets]int64 {
+	var out [HistogramBuckets]int64
+	if h == nil {
+		return out
+	}
+	for i := range h.rows {
+		for b := range out {
+			out[b] += h.rows[i].buckets[b].Load()
+		}
+	}
+	return out
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() int64 {
+	var s int64
+	for _, b := range h.Buckets() {
+		s += b
+	}
+	return s
+}
+
+// Name returns the registered name, or "" for the disabled instrument.
+func (h *Histogram) Name() string {
+	if h == nil {
+		return ""
+	}
+	return h.name
+}

@@ -1,0 +1,215 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/json"
+	"sync"
+	"testing"
+)
+
+func TestCounterShardingAndSum(t *testing.T) {
+	r := New(4)
+	c := r.Counter("test.events")
+	for pe := 0; pe < 4; pe++ {
+		for i := 0; i <= pe; i++ {
+			c.Inc(pe)
+		}
+	}
+	if got := c.Value(); got != 1+2+3+4 {
+		t.Fatalf("Value = %d, want 10", got)
+	}
+	want := []int64{1, 2, 3, 4}
+	for i, v := range c.PerPE() {
+		if v != want[i] {
+			t.Fatalf("PerPE[%d] = %d, want %d", i, v, want[i])
+		}
+	}
+}
+
+func TestRegistrationIdempotent(t *testing.T) {
+	r := New(2)
+	a := r.Counter("x")
+	b := r.Counter("x")
+	if a != b {
+		t.Fatal("same name must return the same counter handle")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("registering a gauge under a counter's name must panic")
+		}
+	}()
+	r.Gauge("x")
+}
+
+func TestNilRegistryIsNoOp(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	if c != nil || g != nil || h != nil {
+		t.Fatal("disabled registry must hand out nil instruments")
+	}
+	// None of these may panic.
+	c.Add(0, 5)
+	c.Inc(3)
+	g.Set(1, 7)
+	g.SetMax(2, 9)
+	g.Add(0, -1)
+	h.Observe(0, 42)
+	if c.Value() != 0 || g.Value() != 0 || g.Max() != 0 || h.Count() != 0 {
+		t.Fatal("disabled instruments must read zero")
+	}
+	if c.PerPE() != nil || g.PerPE() != nil {
+		t.Fatal("disabled instruments must have nil per-PE views")
+	}
+	snap := r.Snapshot()
+	if snap.NumPEs != 0 || len(snap.Counters) != 0 {
+		t.Fatalf("disabled registry snapshot not empty: %+v", snap)
+	}
+}
+
+func TestGaugeSemantics(t *testing.T) {
+	r := New(3)
+	g := r.Gauge("depth")
+	g.Set(0, 5)
+	g.Set(1, 9)
+	g.Set(2, 2)
+	if g.Value() != 16 {
+		t.Fatalf("Value = %d, want 16", g.Value())
+	}
+	if g.Max() != 9 {
+		t.Fatalf("Max = %d, want 9", g.Max())
+	}
+	g.SetMax(2, 20)
+	g.SetMax(2, 4) // lower: must not regress
+	if g.Max() != 20 {
+		t.Fatalf("Max after SetMax = %d, want 20", g.Max())
+	}
+}
+
+func TestGaugeSetMaxConcurrent(t *testing.T) {
+	r := New(1)
+	g := r.Gauge("hwm")
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for v := int64(0); v < 1000; v++ {
+				g.SetMax(0, v*int64(w+1))
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := g.Max(); got != 999*8 {
+		t.Fatalf("Max = %d, want %d", got, 999*8)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New(2)
+	h := r.Histogram("sizes")
+	cases := map[int64]int{-3: 0, 0: 0, 1: 1, 2: 2, 3: 2, 4: 3, 1023: 10, 1024: 11}
+	for v, want := range cases {
+		if got := bucketOf(v); got != want {
+			t.Fatalf("bucketOf(%d) = %d, want %d", v, got, want)
+		}
+	}
+	h.Observe(0, 0)
+	h.Observe(1, 0)
+	h.Observe(0, 3)
+	b := h.Buckets()
+	if b[0] != 2 || b[2] != 1 {
+		t.Fatalf("buckets = %v", b[:4])
+	}
+	if h.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", h.Count())
+	}
+}
+
+func TestSnapshotAndDiff(t *testing.T) {
+	r := New(2)
+	c := r.Counter("flow")
+	g := r.Gauge("level")
+	h := r.Histogram("obs")
+
+	c.Add(0, 10)
+	g.Set(0, 3)
+	h.Observe(0, 4)
+	before := r.Snapshot()
+
+	c.Add(1, 5)
+	g.Set(0, 8)
+	h.Observe(1, 4)
+	h.Observe(1, 100)
+	after := r.Snapshot()
+
+	d := after.Diff(before)
+	if got := d.Counter("flow"); got != 5 {
+		t.Fatalf("diff counter = %d, want 5", got)
+	}
+	if got := d.Gauge("level").Total; got != 8 {
+		t.Fatalf("diff gauge keeps current value, got %d want 8", got)
+	}
+	var dh HistSnap
+	for _, hs := range d.Histograms {
+		if hs.Name == "obs" {
+			dh = hs
+		}
+	}
+	if dh.Count != 2 {
+		t.Fatalf("diff histogram count = %d, want 2", dh.Count)
+	}
+}
+
+func TestSnapshotJSONDeterministic(t *testing.T) {
+	build := func() Snapshot {
+		r := New(2)
+		// Register in a fixed order; snapshots must preserve it.
+		r.Counter("b.second").Add(1, 2)
+		r.Counter("a.first").Add(0, 1)
+		r.Gauge("g").Set(0, 7)
+		r.Histogram("h").Observe(0, 9)
+		return r.Snapshot()
+	}
+	var buf1, buf2 bytes.Buffer
+	if err := build().WriteJSON(&buf1); err != nil {
+		t.Fatal(err)
+	}
+	if err := build().WriteJSON(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Fatal("identical registries must serialize byte-identically")
+	}
+	if buf1.Len() == 0 {
+		t.Fatal("empty JSON")
+	}
+	var round Snapshot
+	if err := json.Unmarshal(buf1.Bytes(), &round); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if round.Counters[0].Name != "b.second" {
+		t.Fatalf("registration order lost: first counter %q", round.Counters[0].Name)
+	}
+}
+
+func TestConcurrentCounters(t *testing.T) {
+	r := New(4)
+	c := r.Counter("par")
+	var wg sync.WaitGroup
+	const per = 10000
+	for pe := 0; pe < 4; pe++ {
+		wg.Add(1)
+		go func(pe int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc(pe)
+			}
+		}(pe)
+	}
+	wg.Wait()
+	if got := c.Value(); got != 4*per {
+		t.Fatalf("Value = %d, want %d", got, 4*per)
+	}
+}

@@ -1,0 +1,163 @@
+package metrics
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// CounterSnap is one counter's state at snapshot time.
+type CounterSnap struct {
+	Name  string  `json:"name"`
+	Total int64   `json:"total"`
+	PerPE []int64 `json:"per_pe"`
+}
+
+// GaugeSnap is one gauge's state at snapshot time.
+type GaugeSnap struct {
+	Name  string  `json:"name"`
+	Total int64   `json:"total"`
+	Max   int64   `json:"max"`
+	PerPE []int64 `json:"per_pe"`
+}
+
+// HistSnap is one histogram's state at snapshot time. Buckets are sparse:
+// BucketIdx[i] holds BucketCount[i] observations; all other buckets are
+// empty.
+type HistSnap struct {
+	Name        string  `json:"name"`
+	Count       int64   `json:"count"`
+	BucketIdx   []int   `json:"bucket_idx"`
+	BucketCount []int64 `json:"bucket_count"`
+}
+
+// Snapshot is a point-in-time copy of every instrument in a registry, in
+// registration order. Taken after a run it is exact; mid-run it is
+// consistent only to within in-flight updates (each cell is read
+// atomically, but cells are read at different instants).
+type Snapshot struct {
+	NumPEs     int           `json:"num_pes"`
+	Counters   []CounterSnap `json:"counters"`
+	Gauges     []GaugeSnap   `json:"gauges"`
+	Histograms []HistSnap    `json:"histograms"`
+}
+
+// Snapshot captures every registered instrument. The disabled registry
+// yields the zero Snapshot.
+func (r *Registry) Snapshot() Snapshot {
+	if r == nil {
+		return Snapshot{}
+	}
+	r.mu.Lock()
+	names := append([]string(nil), r.order...)
+	insts := make([]any, len(names))
+	for i, n := range names {
+		insts[i] = r.byName[n]
+	}
+	r.mu.Unlock()
+
+	s := Snapshot{NumPEs: r.numPEs}
+	for _, inst := range insts {
+		switch v := inst.(type) {
+		case *Counter:
+			s.Counters = append(s.Counters, CounterSnap{Name: v.name, Total: v.Value(), PerPE: v.PerPE()})
+		case *Gauge:
+			s.Gauges = append(s.Gauges, GaugeSnap{Name: v.name, Total: v.Value(), Max: v.Max(), PerPE: v.PerPE()})
+		case *Histogram:
+			hs := HistSnap{Name: v.name}
+			for b, c := range v.Buckets() {
+				if c != 0 {
+					hs.BucketIdx = append(hs.BucketIdx, b)
+					hs.BucketCount = append(hs.BucketCount, c)
+					hs.Count += c
+				}
+			}
+			s.Histograms = append(s.Histograms, hs)
+		}
+	}
+	return s
+}
+
+// Diff returns the change from prev to s: counters and histogram buckets
+// subtract; gauges keep s's current values (a gauge reports state, not
+// flow). Instruments absent from prev diff against zero; instruments
+// absent from s are dropped.
+func (s Snapshot) Diff(prev Snapshot) Snapshot {
+	out := Snapshot{NumPEs: s.NumPEs}
+
+	prevC := make(map[string]CounterSnap, len(prev.Counters))
+	for _, c := range prev.Counters {
+		prevC[c.Name] = c
+	}
+	for _, c := range s.Counters {
+		d := CounterSnap{Name: c.Name, Total: c.Total, PerPE: append([]int64(nil), c.PerPE...)}
+		if p, ok := prevC[c.Name]; ok {
+			d.Total -= p.Total
+			for i := range d.PerPE {
+				if i < len(p.PerPE) {
+					d.PerPE[i] -= p.PerPE[i]
+				}
+			}
+		}
+		out.Counters = append(out.Counters, d)
+	}
+
+	out.Gauges = append(out.Gauges, s.Gauges...)
+
+	prevH := make(map[string]HistSnap, len(prev.Histograms))
+	for _, h := range prev.Histograms {
+		prevH[h.Name] = h
+	}
+	for _, h := range s.Histograms {
+		p, ok := prevH[h.Name]
+		if !ok {
+			out.Histograms = append(out.Histograms, h)
+			continue
+		}
+		// Expand both sparse forms, subtract, re-sparsify.
+		var full [HistogramBuckets]int64
+		for i, b := range h.BucketIdx {
+			full[b] = h.BucketCount[i]
+		}
+		for i, b := range p.BucketIdx {
+			full[b] -= p.BucketCount[i]
+		}
+		d := HistSnap{Name: h.Name}
+		for b, c := range full {
+			if c != 0 {
+				d.BucketIdx = append(d.BucketIdx, b)
+				d.BucketCount = append(d.BucketCount, c)
+				d.Count += c
+			}
+		}
+		out.Histograms = append(out.Histograms, d)
+	}
+	return out
+}
+
+// Counter returns the named counter's total, or 0 if absent.
+func (s Snapshot) Counter(name string) int64 {
+	for _, c := range s.Counters {
+		if c.Name == name {
+			return c.Total
+		}
+	}
+	return 0
+}
+
+// Gauge returns the named gauge's snap, or the zero value if absent.
+func (s Snapshot) Gauge(name string) GaugeSnap {
+	for _, g := range s.Gauges {
+		if g.Name == name {
+			return g
+		}
+	}
+	return GaugeSnap{}
+}
+
+// WriteJSON renders the snapshot as indented JSON. Instruments appear in
+// registration order, so a deterministic run yields byte-identical output.
+func (s Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

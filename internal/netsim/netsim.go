@@ -33,6 +33,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"acic/internal/metrics"
 )
 
 // Topology is the machine shape: Nodes × ProcsPerNode × PEsPerProc.
@@ -196,15 +198,21 @@ type Network struct {
 
 	lanes []lane // one per destination PE
 
-	queued   atomic.Int64 // scheduled but not yet delivered, all lanes
-	maxDepth atomic.Int64
+	// queued is correctness-critical (QueueLen feeds quiescence detection)
+	// and stays a single atomic; the traffic counters below are telemetry
+	// and live in a metrics.Registry, sharded by source PE.
+	queued atomic.Int64 // scheduled but not yet delivered, all lanes
 
 	closed    atomic.Bool
 	closeOnce sync.Once
 	wake      chan struct{} // buffered(1): senders nudge the dispatcher
 	done      chan struct{}
 
-	stats Stats
+	messagesSent *metrics.Counter
+	itemsSent    *metrics.Counter
+	bytesByTier  [4]*metrics.Counter
+	dropped      *metrics.Counter
+	maxDepth     *metrics.Gauge
 }
 
 // laneEmpty is the nextAt sentinel for a lane with nothing queued.
@@ -298,13 +306,27 @@ func (q *deliveryQueue) pop() delivery {
 // deliver is invoked from the dispatcher goroutine for every message at its
 // delivery time; it must be safe for concurrent use with senders and must
 // not block for long (it typically appends to an unbounded mailbox).
-// The returned Network is running; call Close when done.
+// The returned Network is running; call Close when done. Counters land in
+// a private registry; use NewNetworkWithRegistry to aggregate them into a
+// run-wide one.
 func NewNetwork(topo Topology, model LatencyModel, deliver func(dst int, payload any)) (*Network, error) {
+	return NewNetworkWithRegistry(topo, model, deliver, nil)
+}
+
+// NewNetworkWithRegistry is NewNetwork with the fabric's traffic counters
+// registered in reg under the "netsim." prefix, sharded by source PE. reg
+// must have been created for at least topo.TotalPEs() shards; a nil reg
+// selects a private registry so the counters (and therefore Stats) always
+// exist.
+func NewNetworkWithRegistry(topo Topology, model LatencyModel, deliver func(dst int, payload any), reg *metrics.Registry) (*Network, error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
 	if deliver == nil {
 		return nil, fmt.Errorf("netsim: nil deliver function")
+	}
+	if reg == nil {
+		reg = metrics.New(topo.TotalPEs())
 	}
 	n := &Network{
 		topo:    topo,
@@ -315,6 +337,17 @@ func NewNetwork(topo Topology, model LatencyModel, deliver func(dst int, payload
 		lanes: make([]lane, topo.TotalPEs()),
 		wake:  make(chan struct{}, 1),
 		done:  make(chan struct{}),
+
+		messagesSent: reg.Counter("netsim.messages_sent"),
+		itemsSent:    reg.Counter("netsim.items_sent"),
+		bytesByTier: [4]*metrics.Counter{
+			reg.Counter("netsim.items_tier_self"),
+			reg.Counter("netsim.items_tier_process"),
+			reg.Counter("netsim.items_tier_node"),
+			reg.Counter("netsim.items_tier_machine"),
+		},
+		dropped:  reg.Counter("netsim.dropped"),
+		maxDepth: reg.Gauge("netsim.max_queue_depth"),
 	}
 	for i := range n.lanes {
 		n.lanes[i].nextAt.Store(laneEmpty)
@@ -361,7 +394,7 @@ func (n *Network) Send(src, dst int, payload any, size int) {
 	// The drop filter is user code: evaluate it before touching any
 	// fabric lock so a slow filter cannot stall the dispatcher.
 	if f := n.drop.Load(); f != nil && (*f)(src, dst, size) {
-		atomic.AddInt64(&n.stats.Dropped, 1)
+		n.dropped.Add(src, 1)
 		return
 	}
 	tier := n.topo.TierOf(src, dst)
@@ -405,15 +438,12 @@ func (n *Network) Send(src, dst int, payload any, size int) {
 	}
 	la.mu.Unlock()
 
-	atomic.AddInt64(&n.stats.MessagesSent, 1)
-	atomic.AddInt64(&n.stats.ItemsSent, int64(size))
-	atomic.AddInt64(&n.stats.BytesByTier[tier], int64(size))
-	for {
-		cur := n.maxDepth.Load()
-		if depth <= cur || n.maxDepth.CompareAndSwap(cur, depth) {
-			break
-		}
-	}
+	n.messagesSent.Add(src, 1)
+	n.itemsSent.Add(src, int64(size))
+	n.bytesByTier[tier].Add(src, int64(size))
+	// Per-src high-water mark of the global depth: the gauge's Max over
+	// shards recovers the machine-wide maximum the old CAS loop tracked.
+	n.maxDepth.SetMax(src, depth)
 	if newHead {
 		// This message is now its lane's earliest; the dispatcher may be
 		// sleeping toward a later deadline. Non-blocking nudge: a full
@@ -518,18 +548,20 @@ func (n *Network) QueueLen() int {
 }
 
 // Stats returns a copy of the network counters. Call after Close, or accept
-// slightly stale values mid-run.
+// slightly stale values mid-run. It is a thin view over the registry
+// instruments; callers wanting per-source-PE resolution read the "netsim."
+// counters from the registry directly.
 func (n *Network) Stats() Stats {
 	return Stats{
-		MessagesSent: atomic.LoadInt64(&n.stats.MessagesSent),
-		ItemsSent:    atomic.LoadInt64(&n.stats.ItemsSent),
+		MessagesSent: n.messagesSent.Value(),
+		ItemsSent:    n.itemsSent.Value(),
 		BytesByTier: [4]int64{
-			atomic.LoadInt64(&n.stats.BytesByTier[0]),
-			atomic.LoadInt64(&n.stats.BytesByTier[1]),
-			atomic.LoadInt64(&n.stats.BytesByTier[2]),
-			atomic.LoadInt64(&n.stats.BytesByTier[3]),
+			n.bytesByTier[0].Value(),
+			n.bytesByTier[1].Value(),
+			n.bytesByTier[2].Value(),
+			n.bytesByTier[3].Value(),
 		},
-		MaxQueueDepth: n.maxDepth.Load(),
-		Dropped:       atomic.LoadInt64(&n.stats.Dropped),
+		MaxQueueDepth: n.maxDepth.Max(),
+		Dropped:       n.dropped.Value(),
 	}
 }

@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acic/internal/metrics"
 	"acic/internal/netsim"
 	"acic/internal/trace"
 )
@@ -92,6 +93,13 @@ type Config struct {
 	// idle work, blocking, reductions, broadcasts, compute sleeps). It
 	// must have been created for at least Topo.TotalPEs() PEs.
 	Trace *trace.Recorder
+	// Metrics, when non-nil, receives the runtime's scheduler telemetry
+	// ("runtime." counters) and the network fabric's traffic counters
+	// ("netsim." prefix). It must have been created for at least
+	// Topo.TotalPEs() shards. Nil disables both at the cost of one branch
+	// per event; the sent/delivered conservation atomics that feed
+	// quiescence detection are independent of this registry either way.
+	Metrics *metrics.Registry
 }
 
 func (c Config) controlMsgSize() int {
@@ -119,6 +127,17 @@ type Runtime struct {
 	sent      atomic.Int64 // messages sent (all kinds)
 	delivered atomic.Int64 // messages fully processed (all kinds)
 	idlePEs   atomic.Int64 // PEs currently blocked on an empty mailbox
+
+	// Scheduler telemetry, nil (free no-ops) without Config.Metrics. These
+	// shadow the trace recorder's event kinds as cheap always-on counters;
+	// the sent/delivered atomics above are NOT mirrored here because they
+	// are correctness-critical inputs to quiescence detection.
+	mDelivered  *metrics.Counter // app messages dispatched, per PE
+	mReductions *metrics.Counter // reduction partials/completions handled
+	mBroadcasts *metrics.Counter // broadcasts handled
+	mIdleWork   *metrics.Counter // productive idle-trigger invocations
+	mBlocks     *metrics.Counter // times a PE blocked on an empty mailbox
+	mSleptNs    *metrics.Counter // simulated compute debt paid, in ns
 
 	stopFlag atomic.Bool
 	stopOnce sync.Once
@@ -210,9 +229,15 @@ func New(cfg Config) (*Runtime, error) {
 			}
 		}
 	}
-	net, err := netsim.NewNetwork(cfg.Topo, cfg.Latency, func(dst int, payload any) {
+	rt.mDelivered = cfg.Metrics.Counter("runtime.app_delivered")
+	rt.mReductions = cfg.Metrics.Counter("runtime.reductions")
+	rt.mBroadcasts = cfg.Metrics.Counter("runtime.broadcasts")
+	rt.mIdleWork = cfg.Metrics.Counter("runtime.idle_work")
+	rt.mBlocks = cfg.Metrics.Counter("runtime.blocks")
+	rt.mSleptNs = cfg.Metrics.Counter("runtime.work_slept_ns")
+	net, err := netsim.NewNetworkWithRegistry(cfg.Topo, cfg.Latency, func(dst int, payload any) {
 		rt.pes[dst].mbox.push(payload.(envelope))
-	})
+	}, cfg.Metrics)
 	if err != nil {
 		return nil, err
 	}
@@ -503,21 +528,25 @@ func (pe *PE) dispatch(env envelope) {
 	case kindApp:
 		pe.handler.Deliver(pe, env.payload)
 		pe.deliveredApp++
+		pe.rt.mDelivered.Inc(pe.index)
 		if tr != nil {
 			tr.Record(pe.index, trace.KindDeliver, 0)
 		}
 	case kindReducePartial:
 		pe.absorb(env.epoch, env.payload)
+		pe.rt.mReductions.Inc(pe.index)
 		if tr != nil {
 			tr.Record(pe.index, trace.KindReduction, env.epoch)
 		}
 	case kindReduceDone:
 		pe.handler.OnReduction(pe, env.epoch, env.payload)
+		pe.rt.mReductions.Inc(pe.index)
 		if tr != nil {
 			tr.Record(pe.index, trace.KindReduction, env.epoch)
 		}
 	case kindBroadcast:
 		pe.handleBroadcast(env)
+		pe.rt.mBroadcasts.Inc(pe.index)
 		if tr != nil {
 			tr.Record(pe.index, trace.KindBroadcast, env.epoch)
 		}
@@ -539,6 +568,7 @@ func (pe *PE) run() {
 			pe.workDebt = 0
 			//acic:allow-wallclock paying off accumulated work debt is how simulated compute cost occupies real time
 			time.Sleep(d)
+			pe.rt.mSleptNs.Add(pe.index, int64(d))
 			if tr != nil {
 				tr.Record(pe.index, trace.KindWorkSleep, int64(d))
 			}
@@ -549,12 +579,14 @@ func (pe *PE) run() {
 			continue
 		}
 		if pe.handler.Idle(pe) {
+			pe.rt.mIdleWork.Inc(pe.index)
 			if tr != nil {
 				tr.Record(pe.index, trace.KindIdleWork, 0)
 			}
 			continue
 		}
 		// Truly idle: block until the next message or shutdown.
+		pe.rt.mBlocks.Inc(pe.index)
 		if tr != nil {
 			tr.Record(pe.index, trace.KindBlock, 0)
 		}

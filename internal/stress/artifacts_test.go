@@ -1,0 +1,91 @@
+package stress
+
+// The failing-seed artifact dump: when -artifacts is set, every failing
+// acic run is replayed with the trace recorder, metrics registry and
+// threshold audit attached, and all three exports land on disk. Forcing a
+// genuine oracle failure would require a bug, so the test drives the dump
+// path directly on a healthy spec — the triggering condition in Run is a
+// two-line guard exercised by the harness itself.
+
+import (
+	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"acic/internal/core"
+)
+
+func TestDumpArtifacts(t *testing.T) {
+	dir := t.TempDir()
+	spec := Spec{Index: 7, Algo: "acic", Graph: "uniform", Topo: "single4", Profile: ProfileUniform, Seed: 0xfeedbeef}
+	var log bytes.Buffer
+	dumpArtifacts(spec, true, dir, time.Minute, &log)
+	sub := filepath.Join(dir, "run-7")
+
+	// Chrome trace: a traceEvents object with at least the PE name metadata.
+	raw, err := os.ReadFile(filepath.Join(sub, "trace-chrome.json"))
+	if err != nil {
+		t.Fatalf("trace artifact missing: %v\n%s", err, log.String())
+	}
+	var tr struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &tr); err != nil {
+		t.Fatalf("trace artifact is not valid JSON: %v", err)
+	}
+	if len(tr.TraceEvents) == 0 {
+		t.Error("trace artifact has no events")
+	}
+
+	// Metrics snapshot: well-formed, with the core instruments present.
+	raw, err = os.ReadFile(filepath.Join(sub, "metrics.json"))
+	if err != nil {
+		t.Fatalf("metrics artifact missing: %v", err)
+	}
+	var m struct {
+		NumPEs   int `json:"num_pes"`
+		Counters []struct {
+			Name  string `json:"name"`
+			Total int64  `json:"total"`
+		} `json:"counters"`
+	}
+	if err := json.Unmarshal(raw, &m); err != nil {
+		t.Fatalf("metrics artifact is not valid JSON: %v", err)
+	}
+	if m.NumPEs != 4 {
+		t.Errorf("metrics num_pes = %d, want 4 (single4 topology)", m.NumPEs)
+	}
+	found := false
+	for _, c := range m.Counters {
+		if c.Name == "core.updates_created" && c.Total > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("metrics artifact lacks a positive core.updates_created counter")
+	}
+
+	// Audit: one valid JSONL record per line, at least one line.
+	raw, err = os.ReadFile(filepath.Join(sub, "audit.jsonl"))
+	if err != nil {
+		t.Fatalf("audit artifact missing: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(raw)), "\n")
+	if len(lines) == 0 || lines[0] == "" {
+		t.Fatal("audit artifact is empty")
+	}
+	for i, line := range lines {
+		var rec core.ThresholdAudit
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("audit line %d is not valid JSON: %v", i, err)
+		}
+	}
+
+	if !strings.Contains(log.String(), "artifacts: run 7 replayed") {
+		t.Errorf("dump did not log success:\n%s", log.String())
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"os"
+	"path/filepath"
 	"time"
 
 	"acic/internal/cc"
@@ -14,10 +16,12 @@ import (
 	"acic/internal/gen"
 	"acic/internal/graph"
 	"acic/internal/kla"
+	"acic/internal/metrics"
 	"acic/internal/netsim"
 	"acic/internal/runtime"
 	"acic/internal/seq"
 	"acic/internal/tram"
+	"acic/internal/trace"
 	"acic/internal/xrand"
 )
 
@@ -48,6 +52,12 @@ type Options struct {
 	// always; nil means discard.
 	Log     io.Writer
 	Verbose bool
+	// ArtifactDir, when non-empty, makes the harness replay every failing
+	// acic run once with the full observability stack attached and write
+	// the three artifacts — trace-chrome.json, metrics.json, audit.jsonl —
+	// under ArtifactDir/run-<index>/ for offline diagnosis. The other
+	// drivers carry no introspection hooks, so only acic failures dump.
+	ArtifactDir string
 }
 
 // Spec identifies one run of the matrix. Seed alone fully determines the
@@ -202,6 +212,9 @@ func Run(opts Options) (Report, error) {
 		if err != nil {
 			rep.Failures = append(rep.Failures, Failure{Spec: spec, Err: err})
 			fmt.Fprintf(log, "FAIL %s\n     %v\n", spec, err)
+			if opts.ArtifactDir != "" && spec.Algo == "acic" {
+				dumpArtifacts(spec, opts.Short, opts.ArtifactDir, timeout, log)
+			}
 		} else if opts.Verbose {
 			fmt.Fprintf(log, "ok   %s\n", spec)
 		}
@@ -225,16 +238,25 @@ func runWithTimeout(spec Spec, short bool, timeout time.Duration) error {
 	}
 }
 
-// runSpec executes one run and applies the oracle and invariant checks.
-func runSpec(spec Spec, short bool) error {
-	if spec.Algo == "fabric" {
-		return fabricStress(spec.Seed, spec.Profile, short)
-	}
+// specInputs reconstructs a run's deterministic inputs from its seed — the
+// topology, graph, source and jitter stream, drawn in exactly the order
+// runSpec consumes them — so an instrumented replay sees the identical
+// schedule envelope as the failed run.
+func specInputs(spec Spec, short bool) (netsim.Topology, *graph.Graph, int, netsim.JitterFunc) {
 	r := xrand.New(spec.Seed)
 	topo := topoByName(spec.Topo)
 	g := buildGraph(spec.Graph, r, short)
 	src := r.Intn(g.NumVertices())
 	jit := NewJitter(spec.Profile, r.Uint64(), topo)
+	return topo, g, src, jit
+}
+
+// runSpec executes one run and applies the oracle and invariant checks.
+func runSpec(spec Spec, short bool) error {
+	if spec.Algo == "fabric" {
+		return fabricStress(spec.Seed, spec.Profile, short)
+	}
+	topo, g, src, jit := specInputs(spec, short)
 	lat := netsim.DefaultLatency()
 
 	var (
@@ -298,6 +320,76 @@ func runSpec(spec Spec, short bool) error {
 		return fmt.Errorf("oracle: dist[%d] = %g, want %g (source %d)", i, dist[i], want.Dist[i], src)
 	}
 	return checkInvariants(audit, ts)
+}
+
+// dumpArtifacts replays one failing acic spec with the full observability
+// stack attached — trace recorder, metrics registry, threshold audit — and
+// writes the three artifacts under dir/run-<index>/. The replay draws the
+// same seeds as the failed run, so under the deterministic delay fabric it
+// walks the same schedule envelope. A replay that hangs (the loud
+// message-loss mode) is abandoned without a dump: its recorder and
+// registry are still being written by the stuck goroutine, so reading
+// them would race.
+func dumpArtifacts(spec Spec, short bool, artifactDir string, timeout time.Duration, log io.Writer) {
+	dir := filepath.Join(artifactDir, fmt.Sprintf("run-%d", spec.Index))
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fmt.Fprintf(log, "artifacts: %v\n", err)
+		return
+	}
+	topo, g, src, jit := specInputs(spec, short)
+	reg := metrics.New(topo.TotalPEs())
+	rec := trace.New(topo.TotalPEs(), 1<<16)
+	p := core.DefaultParams()
+	p.AuditTrace = true
+	type outcome struct {
+		res *core.Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := core.Run(g, src, core.Options{
+			Topo:    topo,
+			Latency: netsim.DefaultLatency(),
+			Jitter:  jit,
+			Params:  p,
+			Trace:   rec,
+			Metrics: reg,
+		})
+		done <- outcome{res, err}
+	}()
+	var auditRecs []core.ThresholdAudit
+	select {
+	case o := <-done:
+		if o.err != nil {
+			fmt.Fprintf(log, "artifacts: replay of run %d errored before producing artifacts: %v\n", spec.Index, o.err)
+			return
+		}
+		auditRecs = o.res.Stats.AuditTrace
+	case <-time.After(timeout):
+		fmt.Fprintf(log, "artifacts: replay of run %d hung; skipping dump (recorder still live)\n", spec.Index)
+		return
+	}
+	for _, a := range []struct {
+		name  string
+		write func(io.Writer) error
+	}{
+		{"trace-chrome.json", rec.WriteChrome},
+		{"metrics.json", reg.Snapshot().WriteJSON},
+		{"audit.jsonl", func(w io.Writer) error { return core.WriteAuditJSONL(w, auditRecs) }},
+	} {
+		f, err := os.Create(filepath.Join(dir, a.name))
+		if err == nil {
+			err = a.write(f)
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+		}
+		if err != nil {
+			fmt.Fprintf(log, "artifacts: %s: %v\n", a.name, err)
+			return
+		}
+	}
+	fmt.Fprintf(log, "artifacts: run %d replayed, wrote %s/{trace-chrome.json,metrics.json,audit.jsonl}\n", spec.Index, dir)
 }
 
 // checkInvariants audits the conservation ledger of a completed run.

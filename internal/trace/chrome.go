@@ -1,0 +1,123 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Chrome Trace Event Format export: the merged Recorder timeline rendered
+// as the JSON object format understood by Perfetto (ui.perfetto.dev) and
+// chrome://tracing. One track (tid) per PE under a single process (pid 0);
+// blocked intervals and compute sleeps become duration events, everything
+// else becomes instants, so a run's schedule — the §I idle-time story and
+// the hold-drain pulses of the introspection cycle — is scrubbable on a
+// timeline instead of summarized in a table.
+//
+// Timestamps ("ts") are microseconds since the Recorder's start, the
+// format's native unit. Events are emitted per PE in ascending ts order
+// and the writer itself is deterministic (fixed field order, no map
+// iteration), so a fake-clock run exports byte-stable JSON — the property
+// the golden-file test pins down.
+
+// chromeEvent is one entry of the traceEvents array. Field order is the
+// serialization order; keep "name", "ph", "ts" first for readability of
+// the raw file.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	Ts   float64        `json:"ts"`
+	Dur  float64        `json:"dur,omitempty"`
+	Pid  int            `json:"pid"`
+	Tid  int            `json:"tid"`
+	S    string         `json:"s,omitempty"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+type chromeTrace struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// usec converts an event offset to the format's microsecond unit.
+func usec(d time.Duration) float64 { return float64(d.Nanoseconds()) / 1e3 }
+
+// WriteChrome renders the recorder's full timeline in Chrome Trace Event
+// Format. Call only after the traced run has stopped.
+func (r *Recorder) WriteChrome(w io.Writer) error {
+	tr := chromeTrace{DisplayTimeUnit: "ns", TraceEvents: []chromeEvent{}}
+	for pe := 0; pe < r.NumPEs(); pe++ {
+		tr.TraceEvents = append(tr.TraceEvents, chromeEvent{
+			Name: "thread_name", Ph: "M", Pid: 0, Tid: pe,
+			Args: map[string]any{"name": fmt.Sprintf("PE %d", pe)},
+		})
+		tr.TraceEvents = append(tr.TraceEvents, peChromeEvents(pe, r.pes[pe].events)...)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", " ")
+	return enc.Encode(tr)
+}
+
+// peChromeEvents converts one PE's timeline. Block→Wake pairs and
+// work-sleeps become complete ("X") duration events; the rest are thread-
+// scoped instants. The result is sorted by ts (stable, preserving record
+// order among equal stamps) because duration events are anchored at their
+// start, which precedes the record stamp of the matching end event.
+func peChromeEvents(pe int, events []Event) []chromeEvent {
+	out := make([]chromeEvent, 0, len(events))
+	blockAt := time.Duration(-1)
+	for _, e := range events {
+		switch e.Kind {
+		case KindBlock:
+			blockAt = e.At
+		case KindWake:
+			if blockAt >= 0 {
+				out = append(out, chromeEvent{
+					Name: "blocked", Ph: "X", Ts: usec(blockAt),
+					Dur: usec(e.At - blockAt), Pid: 0, Tid: pe,
+				})
+				blockAt = -1
+			}
+		case KindWorkSleep:
+			d := time.Duration(e.Arg)
+			start := e.At - d
+			if start < 0 {
+				start = 0
+			}
+			out = append(out, chromeEvent{
+				Name: "work-sleep", Ph: "X", Ts: usec(start),
+				Dur: usec(e.At - start), Pid: 0, Tid: pe,
+			})
+		case KindReduction:
+			out = append(out, chromeEvent{
+				Name: "reduction", Ph: "i", Ts: usec(e.At), Pid: 0, Tid: pe, S: "t",
+				Args: map[string]any{"epoch": e.Arg},
+			})
+		case KindBroadcast:
+			out = append(out, chromeEvent{
+				Name: "broadcast", Ph: "i", Ts: usec(e.At), Pid: 0, Tid: pe, S: "t",
+				Args: map[string]any{"epoch": e.Arg},
+			})
+		case KindHoldDrain:
+			out = append(out, chromeEvent{
+				Name: "hold-drain", Ph: "i", Ts: usec(e.At), Pid: 0, Tid: pe, S: "t",
+				Args: map[string]any{"drained": e.Arg},
+			})
+		default:
+			out = append(out, chromeEvent{
+				Name: e.Kind.String(), Ph: "i", Ts: usec(e.At), Pid: 0, Tid: pe, S: "t",
+			})
+		}
+	}
+	// A PE that blocked and never woke (shutdown while idle) still shows
+	// its final wait: close the interval at the last known stamp.
+	if blockAt >= 0 {
+		out = append(out, chromeEvent{
+			Name: "blocked", Ph: "X", Ts: usec(blockAt), Dur: 0, Pid: 0, Tid: pe,
+		})
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Ts < out[j].Ts })
+	return out
+}

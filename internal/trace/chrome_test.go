@@ -1,0 +1,151 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"acic/internal/simclock"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite the Chrome trace golden file")
+
+// goldenRecorder builds a small deterministic two-PE timeline on a fake
+// clock: a delivery burst, a blocked interval, a reduction/broadcast
+// cycle with a hold drain, and a compute sleep.
+func goldenRecorder() *Recorder {
+	clk := simclock.NewFake(time.Unix(0, 0))
+	r := NewWithClock(2, 64, clk)
+	step := func(d time.Duration) { clk.Advance(d) }
+
+	r.Record(0, KindDeliver, 0)
+	step(5 * time.Microsecond)
+	r.Record(1, KindDeliver, 0)
+	step(3 * time.Microsecond)
+	r.Record(1, KindBlock, 0)
+	step(12 * time.Microsecond)
+	r.Record(0, KindReduction, 1)
+	step(2 * time.Microsecond)
+	r.Record(0, KindBroadcast, 1)
+	r.Record(1, KindWake, 0)
+	step(1 * time.Microsecond)
+	r.Record(1, KindHoldDrain, 7)
+	step(4 * time.Microsecond)
+	r.Record(0, KindWorkSleep, int64(2*time.Microsecond))
+	step(6 * time.Microsecond)
+	r.Record(1, KindIdleWork, 0)
+	r.Record(1, KindBlock, 0) // blocked at shutdown, never wakes
+	return r
+}
+
+func TestChromeGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "chrome_golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Errorf("Chrome export diverged from golden file.\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+	// Byte stability: a second export of an identical run must be identical.
+	var buf2 bytes.Buffer
+	if err := goldenRecorder().WriteChrome(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("two identical fake-clock runs exported different bytes")
+	}
+}
+
+// TestChromeSchema checks the structural contract every consumer (Perfetto,
+// chrome://tracing) relies on: required fields present, known phase codes,
+// non-negative stamps, and per-track time order.
+func TestChromeSchema(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenRecorder().WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("export is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		t.Fatal("no events exported")
+	}
+	lastTs := map[float64]float64{} // tid -> last ts
+	for i, ev := range doc.TraceEvents {
+		for _, field := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[field]; !ok {
+				t.Fatalf("event %d missing %q: %v", i, field, ev)
+			}
+		}
+		ph := ev["ph"].(string)
+		switch ph {
+		case "M":
+			continue // metadata carries no ts
+		case "X", "i", "B", "E":
+		default:
+			t.Fatalf("event %d has unknown phase %q", i, ph)
+		}
+		ts, ok := ev["ts"].(float64)
+		if !ok || ts < 0 {
+			t.Fatalf("event %d has bad ts %v", i, ev["ts"])
+		}
+		tid := ev["tid"].(float64)
+		if ts < lastTs[tid] {
+			t.Fatalf("event %d out of order on track %v: ts %v after %v", i, tid, ts, lastTs[tid])
+		}
+		lastTs[tid] = ts
+		if ph == "i" && ev["s"] != "t" {
+			t.Fatalf("instant event %d missing thread scope: %v", i, ev)
+		}
+	}
+}
+
+// TestChromeBlockedDuration checks that a Block→Wake pair becomes one
+// complete event whose duration matches the recorded interval.
+func TestChromeBlockedDuration(t *testing.T) {
+	clk := simclock.NewFake(time.Unix(0, 0))
+	r := NewWithClock(1, 16, clk)
+	r.Record(0, KindBlock, 0)
+	clk.Advance(30 * time.Microsecond)
+	r.Record(0, KindWake, 0)
+	var buf bytes.Buffer
+	if err := r.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc chromeTrace
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "blocked" {
+			found = true
+			if ev.Ph != "X" || ev.Ts != 0 || ev.Dur != 30 {
+				t.Fatalf("blocked event wrong: %+v", ev)
+			}
+		}
+	}
+	if !found {
+		t.Fatal("no blocked event exported")
+	}
+}

@@ -19,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"acic/internal/simclock"
 )
 
 // Kind labels one traced event.
@@ -40,6 +42,9 @@ const (
 	KindBroadcast
 	// KindWorkSleep: the PE paid simulated compute debt (Arg: ns slept).
 	KindWorkSleep
+	// KindHoldDrain: a threshold broadcast released held updates back into
+	// circulation (Arg: number of updates drained from tram_hold + pq_hold).
+	KindHoldDrain
 	numKinds
 )
 
@@ -60,6 +65,8 @@ func (k Kind) String() string {
 		return "broadcast"
 	case KindWorkSleep:
 		return "work-sleep"
+	case KindHoldDrain:
+		return "hold-drain"
 	default:
 		return fmt.Sprintf("kind(%d)", uint8(k))
 	}
@@ -74,6 +81,7 @@ type Event struct {
 
 // Recorder collects per-PE timelines.
 type Recorder struct {
+	clk   simclock.Clock
 	start time.Time
 	cap   int
 	pes   []peBuffer
@@ -86,12 +94,23 @@ type peBuffer struct {
 
 // New creates a Recorder for numPEs PEs keeping at most capPerPE events
 // each (oldest half dropped on overflow). capPerPE <= 0 selects 4096.
+// Timestamps come from the wall clock; tests that need byte-stable
+// timelines use NewWithClock with a simclock.Fake.
 func New(numPEs, capPerPE int) *Recorder {
+	return NewWithClock(numPEs, capPerPE, nil)
+}
+
+// NewWithClock is New with an injected clock (nil means the wall clock).
+// A fake clock makes event timestamps — and therefore the Chrome trace
+// export — fully deterministic, which the golden-file tests rely on.
+func NewWithClock(numPEs, capPerPE int, clk simclock.Clock) *Recorder {
 	if capPerPE <= 0 {
 		capPerPE = 4096
 	}
+	clk = simclock.Default(clk)
 	return &Recorder{
-		start: time.Now(),
+		clk:   clk,
+		start: clk.Now(),
 		cap:   capPerPE,
 		pes:   make([]peBuffer, numPEs),
 	}
@@ -112,7 +131,7 @@ func (r *Recorder) Record(pe int, kind Kind, arg int64) {
 		copy(b.events, b.events[half:])
 		b.events = b.events[:len(b.events)-half]
 	}
-	b.events = append(b.events, Event{At: time.Since(r.start), Kind: kind, Arg: arg})
+	b.events = append(b.events, Event{At: r.clk.Since(r.start), Kind: kind, Arg: arg})
 }
 
 // Timeline returns pe's retained events in chronological order. Call only
@@ -173,16 +192,19 @@ func (r *Recorder) Summarize() []Summary {
 // WriteSummary renders the per-PE summaries as an aligned table. The
 // blocked-time column is the direct observation of the paper's §I claim
 // that bulk-synchronous PEs "sit idle while waiting ... to reach the
-// synchronization barrier".
+// synchronization barrier". The dropped column reports ring-buffer
+// overflow; per PE, events-retained + dropped always equals the number of
+// Record calls, so a non-zero value flags a truncated timeline rather
+// than silently under-counting.
 func (r *Recorder) WriteSummary(w io.Writer) error {
 	sums := r.Summarize()
 	var sb strings.Builder
-	fmt.Fprintf(&sb, "%-4s %-9s %-9s %-9s %-9s %-11s %-12s\n",
-		"PE", "deliver", "idlework", "reduction", "broadcast", "blocked", "workslept")
+	fmt.Fprintf(&sb, "%-4s %-9s %-9s %-9s %-9s %-9s %-11s %-12s\n",
+		"PE", "deliver", "idlework", "reduction", "broadcast", "dropped", "blocked", "workslept")
 	for _, s := range sums {
-		fmt.Fprintf(&sb, "%-4d %-9d %-9d %-9d %-9d %-11s %-12s\n",
+		fmt.Fprintf(&sb, "%-4d %-9d %-9d %-9d %-9d %-9d %-11s %-12s\n",
 			s.PE, s.ByKind[KindDeliver], s.ByKind[KindIdleWork],
-			s.ByKind[KindReduction], s.ByKind[KindBroadcast],
+			s.ByKind[KindReduction], s.ByKind[KindBroadcast], s.Dropped,
 			s.BlockedTime.Round(time.Microsecond),
 			time.Duration(s.SleptNanos).Round(time.Microsecond))
 	}

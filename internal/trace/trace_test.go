@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"fmt"
 	"strings"
 	"testing"
 	"time"
@@ -41,6 +42,66 @@ func TestOverflowKeepsTail(t *testing.T) {
 	// The newest event must be retained.
 	if tl[len(tl)-1].Arg != 19 {
 		t.Errorf("tail lost: last arg %d", tl[len(tl)-1].Arg)
+	}
+}
+
+// TestDropAccounting pins the buffer-overflow conservation law: for every
+// PE, retained events + Dropped() equals the number of Record calls, and
+// Summarize plus the WriteSummary table report the same dropped count.
+// Exercised at several caps (odd, even, tiny) so the keep-newer-half
+// arithmetic is checked off the happy path too.
+func TestDropAccounting(t *testing.T) {
+	for _, tc := range []struct {
+		cap, records int
+	}{
+		{cap: 8, records: 100},
+		{cap: 7, records: 53},
+		{cap: 2, records: 9},
+		{cap: 16, records: 16}, // exactly full: no drop yet
+		{cap: 16, records: 17}, // first overflow
+	} {
+		r := New(1, tc.cap)
+		for i := 0; i < tc.records; i++ {
+			r.Record(0, KindDeliver, int64(i))
+		}
+		retained := len(r.Timeline(0))
+		lost := int64(tc.records) - int64(retained)
+		if got := r.Dropped(0); got != lost {
+			t.Errorf("cap=%d records=%d: Dropped()=%d, actual lost=%d (retained %d)",
+				tc.cap, tc.records, got, lost, retained)
+		}
+		sum := r.Summarize()[0]
+		if sum.Dropped != lost {
+			t.Errorf("cap=%d records=%d: Summary.Dropped=%d, actual lost=%d",
+				tc.cap, tc.records, sum.Dropped, lost)
+		}
+		if sum.Events != int64(retained) {
+			t.Errorf("cap=%d records=%d: Summary.Events=%d, retained=%d",
+				tc.cap, tc.records, sum.Events, retained)
+		}
+		// The summary table must surface the same number in its dropped column.
+		var sb strings.Builder
+		if err := r.WriteSummary(&sb); err != nil {
+			t.Fatal(err)
+		}
+		lines := strings.Split(strings.TrimSpace(sb.String()), "\n")
+		if len(lines) != 2 {
+			t.Fatalf("summary shape: %q", sb.String())
+		}
+		header, row := strings.Fields(lines[0]), strings.Fields(lines[1])
+		col := -1
+		for i, h := range header {
+			if h == "dropped" {
+				col = i
+			}
+		}
+		if col < 0 {
+			t.Fatalf("summary header has no dropped column: %q", lines[0])
+		}
+		if want := fmt.Sprintf("%d", lost); row[col] != want {
+			t.Errorf("cap=%d records=%d: summary line dropped=%s, want %s",
+				tc.cap, tc.records, row[col], want)
+		}
 	}
 }
 

@@ -29,8 +29,8 @@ package tram
 import (
 	"fmt"
 	"sync"
-	"sync/atomic"
 
+	"acic/internal/metrics"
 	"acic/internal/netsim"
 )
 
@@ -108,13 +108,17 @@ type Manager[T any] struct {
 	// that is fine for the small value-typed updates tram carries.
 	pool sync.Pool
 
-	inserts       atomic.Int64
-	autoFlushes   atomic.Int64
-	manualFlushes atomic.Int64
-	batches       atomic.Int64
-	items         atomic.Int64
-	poolGets      atomic.Int64
-	poolPuts      atomic.Int64
+	// Counters live in a metrics.Registry (the caller's, or a private one
+	// when none is supplied), sharded by source PE so concurrent inserters
+	// never contend on a stats cache line. Stats() sums them into the
+	// legacy view.
+	inserts       *metrics.Counter
+	autoFlushes   *metrics.Counter
+	manualFlushes *metrics.Counter
+	batches       *metrics.Counter
+	items         *metrics.Counter
+	poolGets      *metrics.Counter
+	poolPuts      *metrics.Counter
 }
 
 type bufferSet[T any] struct {
@@ -126,7 +130,19 @@ type bufferSet[T any] struct {
 // New creates a Manager for the given topology, mode and per-buffer
 // capacity. Capacity must be positive; the paper's supported sizes are 512,
 // 1024 and 2048 but any positive value is accepted for experiments.
+// Counters land in a private registry; use NewWithRegistry to aggregate
+// them into a run-wide one.
 func New[T any](topo netsim.Topology, mode Mode, capacity int) (*Manager[T], error) {
+	return NewWithRegistry[T](topo, mode, capacity, nil)
+}
+
+// NewWithRegistry is New with the manager's counters registered in reg
+// under the "tram." prefix, sharded by source PE. reg must have been
+// created for at least topo.TotalPEs() shards; a nil reg selects a private
+// registry so the counters (and therefore Stats) always exist. Two
+// managers sharing one registry share the counters — one manager per run
+// is the intended shape.
+func NewWithRegistry[T any](topo netsim.Topology, mode Mode, capacity int, reg *metrics.Registry) (*Manager[T], error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -136,7 +152,21 @@ func New[T any](topo netsim.Topology, mode Mode, capacity int) (*Manager[T], err
 	if mode > PP {
 		return nil, fmt.Errorf("tram: unknown mode %d", mode)
 	}
-	m := &Manager[T]{topo: topo, mode: mode, cap: capacity}
+	if reg == nil {
+		reg = metrics.New(topo.TotalPEs())
+	}
+	m := &Manager[T]{
+		topo:          topo,
+		mode:          mode,
+		cap:           capacity,
+		inserts:       reg.Counter("tram.inserts"),
+		autoFlushes:   reg.Counter("tram.auto_flushes"),
+		manualFlushes: reg.Counter("tram.manual_flushes"),
+		batches:       reg.Counter("tram.batches"),
+		items:         reg.Counter("tram.items"),
+		poolGets:      reg.Counter("tram.pool_gets"),
+		poolPuts:      reg.Counter("tram.pool_puts"),
+	}
 	numSets := topo.TotalPEs()
 	if mode == PW || mode == PP {
 		numSets = topo.TotalProcs()
@@ -202,7 +232,7 @@ func (m *Manager[T]) deliveryPE(set *bufferSet[T], destIdx int) int {
 // capacity the filled batch is cut and returned for the caller to send;
 // otherwise the returned batch is nil.
 func (m *Manager[T]) Insert(srcPE, dstPE int, item T) *Batch[T] {
-	m.inserts.Add(1)
+	m.inserts.Add(srcPE, 1)
 	set := &m.sets[m.setIndex(srcPE)]
 	d := m.destIndex(dstPE)
 	if set.mu != nil {
@@ -210,20 +240,21 @@ func (m *Manager[T]) Insert(srcPE, dstPE int, item T) *Batch[T] {
 		defer set.mu.Unlock()
 	}
 	if set.bufs[d] == nil {
-		set.bufs[d] = m.newBuf()
+		set.bufs[d] = m.newBuf(srcPE)
 	}
 	set.bufs[d] = append(set.bufs[d], item)
 	if len(set.bufs[d]) < m.cap {
 		return nil
 	}
-	m.autoFlushes.Add(1)
+	m.autoFlushes.Add(srcPE, 1)
 	return m.cut(srcPE, set, d)
 }
 
 // newBuf returns an empty buffer with full batch capacity, recycled from
-// the pool when a receiver has Released one.
-func (m *Manager[T]) newBuf() []T {
-	m.poolGets.Add(1)
+// the pool when a receiver has Released one. srcPE attributes the pool-get
+// to the inserting PE's counter shard.
+func (m *Manager[T]) newBuf(srcPE int) []T {
+	m.poolGets.Add(srcPE, 1)
 	if p, ok := m.pool.Get().(*[]T); ok {
 		return (*p)[:0]
 	}
@@ -239,7 +270,10 @@ func (m *Manager[T]) Release(items []T) {
 	if cap(items) < m.cap {
 		return
 	}
-	m.poolPuts.Add(1)
+	// Release runs on receiver goroutines with no natural source shard;
+	// shard 0 keeps the total exact, which is all the pool-discipline
+	// invariant (PoolGets == PoolPuts at quiescence) needs.
+	m.poolPuts.Add(0, 1)
 	items = items[:0]
 	m.pool.Put(&items)
 }
@@ -252,8 +286,8 @@ func (m *Manager[T]) cut(srcPE int, set *bufferSet[T], d int) *Batch[T] {
 		return nil
 	}
 	set.bufs[d] = nil
-	m.batches.Add(1)
-	m.items.Add(int64(len(items)))
+	m.batches.Add(srcPE, 1)
+	m.items.Add(srcPE, int64(len(items)))
 	return &Batch[T]{SrcPE: srcPE, DestPE: m.deliveryPE(set, d), Items: items}
 }
 
@@ -276,7 +310,7 @@ func (m *Manager[T]) FlushSet(srcPE int) []Batch[T] {
 		}
 	}
 	if len(out) > 0 {
-		m.manualFlushes.Add(1)
+		m.manualFlushes.Add(srcPE, 1)
 	}
 	return out
 }
@@ -296,15 +330,17 @@ func (m *Manager[T]) PendingInSet(srcPE int) int {
 	return n
 }
 
-// Stats returns a snapshot of the counters.
+// Stats returns a snapshot of the counters. It is a thin view over the
+// registry instruments (summing the per-PE shards); callers wanting per-PE
+// resolution read the "tram." counters from the registry directly.
 func (m *Manager[T]) Stats() Stats {
 	return Stats{
-		Inserts:       m.inserts.Load(),
-		AutoFlushes:   m.autoFlushes.Load(),
-		ManualFlushes: m.manualFlushes.Load(),
-		Batches:       m.batches.Load(),
-		Items:         m.items.Load(),
-		PoolGets:      m.poolGets.Load(),
-		PoolPuts:      m.poolPuts.Load(),
+		Inserts:       m.inserts.Value(),
+		AutoFlushes:   m.autoFlushes.Value(),
+		ManualFlushes: m.manualFlushes.Value(),
+		Batches:       m.batches.Value(),
+		Items:         m.items.Value(),
+		PoolGets:      m.poolGets.Value(),
+		PoolPuts:      m.poolPuts.Value(),
 	}
 }

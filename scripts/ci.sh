@@ -1,6 +1,7 @@
 #!/usr/bin/env bash
 # Repository CI gate: vet, the project's own analyzers (acic-lint), build,
-# full test suite, then the race detector over every package.
+# full test suite with a coverage floor, the race detector over every
+# package, a fuzz smoke pass, and the schedule-stress harness.
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -11,12 +12,32 @@ go vet ./...
 echo "== acic-lint (project analyzers) =="
 go run ./cmd/acic-lint ./...
 
-echo "== build + test =="
+echo "== build + test (with coverage) =="
 go build ./...
-go test ./...
+cover_out="$(mktemp)"
+trap 'rm -f "$cover_out"' EXIT
+go test -coverprofile="$cover_out" ./...
+
+echo "== coverage gate =="
+# The checked-in baseline is the total statement coverage at the time the
+# observability PR landed; a drop of more than 2pp fails the gate. Raise
+# the baseline when coverage genuinely improves.
+total="$(go tool cover -func="$cover_out" | awk '/^total:/ { sub(/%/, "", $3); print $3 }')"
+baseline="$(cat scripts/coverage_baseline.txt)"
+awk -v t="$total" -v b="$baseline" 'BEGIN {
+  if (t + 2.0 < b) {
+    printf "FAIL: total coverage %.1f%% is more than 2pp below baseline %.1f%%\n", t, b
+    exit 1
+  }
+  printf "coverage %.1f%% (baseline %.1f%%, floor %.1f%%)\n", t, b, b - 2.0
+}'
 
 echo "== race detector (all packages) =="
 go test -race ./...
+
+echo "== fuzz smoke (10s per target; one target per invocation) =="
+go test -run '^$' -fuzz '^FuzzGraphLoadCSV$' -fuzztime 10s ./internal/graph
+go test -run '^$' -fuzz '^FuzzHistogramMerge$' -fuzztime 10s ./internal/histogram
 
 echo "== schedule-stress harness (short matrix) =="
 go run ./cmd/acic-stress -short
