@@ -28,7 +28,9 @@ import (
 	"acic/internal/kla"
 	"acic/internal/metrics"
 	"acic/internal/netsim"
+	"acic/internal/relnet"
 	"acic/internal/seq"
+	"acic/internal/stress"
 	"acic/internal/trace"
 	"acic/internal/tram"
 )
@@ -54,6 +56,8 @@ func main() {
 		hybrid     = flag.Bool("hybrid", true, "Δ-stepping: enable Bellman-Ford switch")
 		verify     = flag.Bool("verify", false, "check distances against Dijkstra")
 		printDist  = flag.Int("printdist", 0, "print the first N distances")
+		faultName  = flag.String("fault", "none", "fabric fault profile for ACIC runs: none | drop | dup | reorder | lossy (seeded by -seed; enables the reliability layer)")
+		unreliable = flag.Bool("unreliable", false, "with -fault: keep the relnet reliability layer off (drop faults then hang loudly)")
 		traceSum   = flag.Bool("tracesummary", false, "print per-PE scheduling summary after an ACIC run")
 		traceOut   = flag.String("trace-chrome", "", "write the ACIC run's timeline as a Chrome/Perfetto trace to FILE")
 		metricsOut = flag.String("metrics-out", "", "write the ACIC run's metrics registry snapshot (JSON) to FILE")
@@ -62,6 +66,13 @@ func main() {
 	flag.Parse()
 	if *algo != "acic" && (*traceOut != "" || *metricsOut != "" || *auditOut != "") {
 		fail(fmt.Errorf("-trace-chrome/-metrics-out/-audit-out instrument the acic algorithm only (got -algo %s)", *algo))
+	}
+	fault, err := stress.ParseFault(*faultName)
+	if err != nil {
+		fail(err)
+	}
+	if fault != stress.FaultNone && *algo != "acic" {
+		fail(fmt.Errorf("-fault injects into the acic driver only (got -algo %s)", *algo))
 	}
 
 	g, err := loadGraph(*input, *vertices, *kind, *scale, *edgeFactor, *seed)
@@ -84,6 +95,12 @@ func main() {
 		p.TramMode = tramMode
 		p.AuditTrace = *auditOut != ""
 		opts := core.Options{Topo: topo, Latency: latency, Params: p}
+		if fault != stress.FaultNone {
+			opts.Fault = stress.NewFaultPlan(fault, *seed, topo)
+			if !*unreliable {
+				opts.Reliability = &relnet.Config{}
+			}
+		}
 		var rec *trace.Recorder
 		if *traceSum || *traceOut != "" {
 			rec = trace.New(topo.TotalPEs(), 1<<16)
@@ -129,6 +146,11 @@ func main() {
 		fmt.Printf("tram: inserts=%d batches=%d autoflush=%d manualflush=%d\n",
 			s.TramStats.Inserts, s.TramStats.Batches, s.TramStats.AutoFlushes, s.TramStats.ManualFlushes)
 		fmt.Printf("net : messages=%d items=%d\n", s.Network.MessagesSent, s.Network.ItemsSent)
+		if fault != stress.FaultNone {
+			fmt.Printf("rel : dropped=%d duplicated=%d reordered=%d retransmits=%d dupDiscarded=%d acks=%d unaccounted=%d\n",
+				s.Network.Dropped, s.Network.Duplicated, s.Network.Reordered,
+				s.Audit.Retransmits, s.Audit.DupDiscarded, s.Audit.AcksSent, s.Audit.Unaccounted())
+		}
 	case "delta":
 		p := deltastep.DefaultParams()
 		p.Delta = *delta

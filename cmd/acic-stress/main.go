@@ -11,6 +11,7 @@
 //	acic-stress -short                 # the CI smoke pass
 //	acic-stress -seed 7 -runs 3        # three full passes with seed 7
 //	acic-stress -profile burst,reorder # only those jitter profiles
+//	acic-stress -fault drop,lossy      # only those fabric fault profiles
 //	acic-stress -seed 7 -run 42        # replay run #42 of seed 7's matrix
 package main
 
@@ -36,6 +37,7 @@ func run(args []string, out *os.File) int {
 		seed     = fs.Uint64("seed", 1, "master seed; determines the whole run matrix")
 		runs     = fs.Int("runs", 1, "full passes over the algorithm × topology × graph × profile matrix")
 		profiles = fs.String("profile", "all", "comma-separated jitter profiles (uniform, stall-tier, reorder, burst) or 'all'")
+		faults   = fs.String("fault", "all", "comma-separated fabric fault profiles for the acic reliability sub-matrix (drop, dup, reorder, lossy), 'all', or 'none' to disable it")
 		short    = fs.Bool("short", false, "CI smoke mode: shrunken matrix and graphs")
 		only     = fs.Int("run", -1, "replay exactly one run index from the matrix")
 		timeout  = fs.Duration("timeout", 60*time.Second, "per-run hang watchdog")
@@ -67,6 +69,16 @@ func run(args []string, out *os.File) int {
 			opts.Profiles = append(opts.Profiles, p)
 		}
 	}
+	if *faults != "all" {
+		for _, s := range strings.Split(*faults, ",") {
+			f, err := stress.ParseFault(strings.TrimSpace(s))
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return 2
+			}
+			opts.Faults = append(opts.Faults, f)
+		}
+	}
 	rep, err := stress.Run(opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -76,7 +88,7 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "\nstress: %d/%d runs FAILED (seed %d)\n", len(rep.Failures), rep.Total, *seed)
 		for _, f := range rep.Failures {
 			fmt.Fprintf(out, "  %s\n  replay: go run ./cmd/acic-stress %s -run %d\n",
-				f.Spec, replayFlags(*seed, *runs, *profiles, *short), f.Spec.Index)
+				f.Spec, replayFlags(*seed, *runs, *profiles, *faults, *short), f.Spec.Index)
 		}
 		return 1
 	}
@@ -86,10 +98,13 @@ func run(args []string, out *os.File) int {
 
 // replayFlags reconstructs the enumeration-determining flags so the printed
 // replay command rebuilds the identical matrix and hits the same run index.
-func replayFlags(seed uint64, runs int, profiles string, short bool) string {
+func replayFlags(seed uint64, runs int, profiles, faults string, short bool) string {
 	s := fmt.Sprintf("-seed %d -runs %d", seed, runs)
 	if profiles != "all" {
 		s += " -profile " + profiles
+	}
+	if faults != "all" {
+		s += " -fault " + faults
 	}
 	if short {
 		s += " -short"

@@ -34,6 +34,7 @@ const Directive = "allow-wallclock"
 var Packages = map[string]bool{
 	"acic/internal/runtime":   true,
 	"acic/internal/netsim":    true,
+	"acic/internal/relnet":    true,
 	"acic/internal/tram":      true,
 	"acic/internal/core":      true,
 	"acic/internal/deltastep": true,

@@ -1,0 +1,102 @@
+package bench
+
+// The reliability experiment: what does surviving a lossy fabric cost?
+// ACIC runs on the same graph under a sweep of fabric fault profiles with
+// the relnet ack/retransmit layer healing them, plus two baselines — the
+// bare fabric and the reliability layer idling over a faultless fabric
+// (its pure ack/bookkeeping overhead). Every run is oracle-checked, and
+// every ledger must balance to zero unaccounted messages.
+
+import (
+	"fmt"
+	"time"
+
+	"acic/internal/collect"
+	"acic/internal/core"
+	"acic/internal/relnet"
+	"acic/internal/stress"
+)
+
+// RelPoint is one fault profile's aggregate over Config.Trials runs.
+type RelPoint struct {
+	// Label names the row: "baseline" (no relnet), "rel-only" (relnet over
+	// a faultless fabric), or a stress fault profile name.
+	Label string
+	// Seconds is the mean simulated elapsed time.
+	Seconds float64
+	// Fault-injection and recovery counters, summed over trials.
+	Dropped      int64
+	Duplicated   int64
+	Reordered    int64
+	Retransmits  int64
+	DupDiscarded int64
+	AcksSent     int64
+}
+
+// ReliabilityOverhead measures the relnet layer's cost and its recovery
+// work across the fault profiles on the Random graph at the given node
+// count.
+func (c Config) ReliabilityOverhead(nodes int) ([]RelPoint, error) {
+	type rowCfg struct {
+		label string
+		fault stress.Fault
+		rel   bool
+	}
+	rows := []rowCfg{
+		{"baseline", stress.FaultNone, false},
+		{"rel-only", stress.FaultNone, true},
+	}
+	for _, f := range stress.Faults() {
+		rows = append(rows, rowCfg{string(f), f, true})
+	}
+	out := make([]RelPoint, 0, len(rows))
+	for _, rc := range rows {
+		pt := RelPoint{Label: rc.label}
+		for trial := 0; trial < c.Trials; trial++ {
+			g, err := c.MakeGraph(Random, trial)
+			if err != nil {
+				return nil, err
+			}
+			opts := core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: c.acicParams()}
+			if rc.fault != stress.FaultNone {
+				opts.Fault = stress.NewFaultPlan(rc.fault, c.Seed+uint64(trial), opts.Topo)
+			}
+			if rc.rel {
+				opts.Reliability = &relnet.Config{}
+			}
+			res, err := core.Run(g, 0, opts)
+			if err != nil {
+				return nil, err
+			}
+			if err := c.verifyDist(g, 0, res.Dist, "acic/"+rc.label); err != nil {
+				return nil, err
+			}
+			a := res.Stats.Audit
+			if u := a.Unaccounted(); u != 0 {
+				return nil, fmt.Errorf("bench: %s trial %d: %d messages unaccounted", rc.label, trial, u)
+			}
+			pt.Seconds += res.Stats.Elapsed.Seconds()
+			pt.Dropped += res.Stats.Network.Dropped
+			pt.Duplicated += res.Stats.Network.Duplicated
+			pt.Reordered += res.Stats.Network.Reordered
+			pt.Retransmits += a.Retransmits
+			pt.DupDiscarded += a.DupDiscarded
+			pt.AcksSent += a.AcksSent
+		}
+		pt.Seconds /= float64(c.Trials)
+		out = append(out, pt)
+	}
+	return out, nil
+}
+
+// RelTable renders the reliability sweep.
+func RelTable(points []RelPoint) *collect.Table {
+	t := collect.NewTable(
+		"Reliability: ACIC over lossy fabrics (relnet ack/retransmit layer)",
+		"profile", "time", "dropped", "dup'd", "reordered", "retransmits", "dedup", "acks")
+	for _, p := range points {
+		t.AddRow(p.Label, time.Duration(p.Seconds*float64(time.Second)).Round(time.Microsecond),
+			p.Dropped, p.Duplicated, p.Reordered, p.Retransmits, p.DupDiscarded, p.AcksSent)
+	}
+	return t
+}

@@ -28,6 +28,7 @@ import (
 	"acic/internal/histogram"
 	"acic/internal/metrics"
 	"acic/internal/netsim"
+	"acic/internal/relnet"
 	"acic/internal/runtime"
 	"acic/internal/simclock"
 	"acic/internal/trace"
@@ -181,6 +182,16 @@ type Options struct {
 	// Jitter, when non-nil, perturbs every message's delivery delay (see
 	// netsim.JitterFunc) — the schedule-stress harness's hook.
 	Jitter netsim.JitterFunc
+	// Fault installs drop/duplication/reordering filters on the fabric
+	// (see netsim.FaultPlan). A run with a drop filter and no Reliability
+	// hangs loudly at the lost update — set Reliability to survive it.
+	Fault netsim.FaultPlan
+	// Reliability, when non-nil, inserts the relnet ack/retransmit layer
+	// under the runtime so injected faults are healed: at-least-once
+	// retransmission plus receiver dedup keeps the quiescence counters
+	// exact (see internal/relnet). The zero relnet.Config is a usable
+	// default.
+	Reliability *relnet.Config
 }
 
 // Stats aggregates the measurements the paper reports.

@@ -1,0 +1,155 @@
+package core
+
+// Delivery-semantics tests for the full algorithm over a hostile fabric.
+// They pin three facts about ACIC's messaging assumptions:
+//
+//   - Reordering alone is harmless even without the reliability layer: edge
+//     relaxations are order-insensitive (the dist(v) <= d dead-update guard
+//     rejects stale arrivals) and the control plane is causally serialized —
+//     a PE contributes to epoch e+1 only after receiving broadcast e, so at
+//     most one control message is ever in flight per tree edge.
+//   - Message loss without the reliability layer hangs loudly — the
+//     quiescence counters stay unequal forever — never silently corrupts
+//     distances (the PR 3 drop-hangs contract, now at the algorithm level).
+//   - With Options.Reliability set, the same drop/dup faults are healed by
+//     retransmission and dedup: distances match Dijkstra exactly and the
+//     extended conservation ledger balances to zero.
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"acic/internal/gen"
+	"acic/internal/netsim"
+	"acic/internal/relnet"
+)
+
+func TestReorderFaultAloneOracleCorrect(t *testing.T) {
+	g := gen.Uniform(400, 1600, gen.Config{Seed: 11, MaxWeight: 100})
+	var n atomic.Int64
+	opts := Options{
+		Topo: netsim.SingleNode(4),
+		Fault: netsim.FaultPlan{
+			Reorder: func(src, dst, size int) (time.Duration, bool) {
+				return 300 * time.Microsecond, n.Add(1)%9 == 0
+			},
+		},
+	}
+	res := runAndVerify(t, g, 0, opts)
+	if res.Stats.Network.Reordered == 0 {
+		t.Error("Reordered = 0: the filter never fired, nothing was stressed")
+	}
+	if u := res.Stats.Audit.Unaccounted(); u != 0 {
+		t.Errorf("Unaccounted = %d, want 0; ledger: %+v", u, res.Stats.Audit)
+	}
+}
+
+func TestDropFaultHangsLoudlyWithoutReliability(t *testing.T) {
+	g := gen.Uniform(200, 800, gen.Config{Seed: 12, MaxWeight: 100})
+	var n atomic.Int64
+	opts := Options{
+		Topo: netsim.SingleNode(4),
+		Fault: netsim.FaultPlan{
+			Drop: func(src, dst, size int) bool { return n.Add(1)%6 == 0 },
+		},
+	}
+	done := make(chan struct{})
+	go func() {
+		Run(g, 0, opts) // abandoned on hang; the goroutine leak is the point
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("run terminated despite dropped messages — quiescence fired on unequal counters")
+	case <-time.After(1500 * time.Millisecond):
+		// Hung, as the bare runtime's at-most-once contract demands.
+	}
+}
+
+func TestDropFaultRecoversWithReliability(t *testing.T) {
+	g := gen.Uniform(400, 1600, gen.Config{Seed: 12, MaxWeight: 100})
+	var n atomic.Int64
+	opts := Options{
+		Topo: netsim.SingleNode(4),
+		Fault: netsim.FaultPlan{
+			Drop: func(src, dst, size int) bool { return n.Add(1)%6 == 0 },
+		},
+		Reliability: &relnet.Config{},
+	}
+	res := runAndVerify(t, g, 0, opts)
+	a := res.Stats.Audit
+	if a.NetDropped == 0 {
+		t.Error("NetDropped = 0: the filter never fired")
+	}
+	if a.Retransmits == 0 {
+		t.Error("Retransmits = 0, want > 0: recovery must go through the timeout path")
+	}
+	if u := a.Unaccounted(); u != 0 {
+		t.Errorf("Unaccounted = %d, want 0; ledger: %+v", u, a)
+	}
+	if ts := res.Stats.TramStats; ts.PoolGets != ts.PoolPuts {
+		t.Errorf("tram pool leak under retransmission: PoolGets=%d PoolPuts=%d", ts.PoolGets, ts.PoolPuts)
+	}
+}
+
+func TestDupFaultSwallowedWithReliability(t *testing.T) {
+	g := gen.Uniform(400, 1600, gen.Config{Seed: 13, MaxWeight: 100})
+	var n atomic.Int64
+	opts := Options{
+		Topo: netsim.SingleNode(4),
+		Fault: netsim.FaultPlan{
+			Dup: func(src, dst, size int) (time.Duration, bool) {
+				return 150 * time.Microsecond, n.Add(1)%5 == 0
+			},
+		},
+		Reliability: &relnet.Config{},
+	}
+	res := runAndVerify(t, g, 0, opts)
+	a := res.Stats.Audit
+	if a.NetDuplicated == 0 {
+		t.Error("NetDuplicated = 0: the filter never fired")
+	}
+	if a.DupDiscarded == 0 {
+		t.Error("DupDiscarded = 0, want > 0: ghost copies must hit the dedup window")
+	}
+	if u := a.Unaccounted(); u != 0 {
+		t.Errorf("Unaccounted = %d, want 0; ledger: %+v", u, a)
+	}
+	// The double-delivery hazard for pooled tram batches: a ghost copy that
+	// reached a handler would Release the same batch twice.
+	if ts := res.Stats.TramStats; ts.PoolGets != ts.PoolPuts {
+		t.Errorf("tram pool imbalance under duplication: PoolGets=%d PoolPuts=%d", ts.PoolGets, ts.PoolPuts)
+	}
+}
+
+func TestLossyGauntletWithReliability(t *testing.T) {
+	g := gen.Uniform(500, 2000, gen.Config{Seed: 14, MaxWeight: 100})
+	var n atomic.Int64
+	opts := Options{
+		Topo:    netsim.SingleNode(4),
+		Latency: netsim.LatencyModel{IntraProcess: 2 * time.Microsecond},
+		Fault: netsim.FaultPlan{
+			Drop: func(src, dst, size int) bool { return n.Add(1)%17 == 3 },
+			Dup: func(src, dst, size int) (time.Duration, bool) {
+				return 100 * time.Microsecond, n.Add(1)%13 == 5
+			},
+			Reorder: func(src, dst, size int) (time.Duration, bool) {
+				return 250 * time.Microsecond, n.Add(1)%11 == 7
+			},
+		},
+		Reliability: &relnet.Config{},
+	}
+	res := runAndVerify(t, g, 0, opts)
+	a := res.Stats.Audit
+	ns := res.Stats.Network
+	if ns.Dropped == 0 || ns.Duplicated == 0 || ns.Reordered == 0 {
+		t.Errorf("gauntlet under-stressed: dropped=%d duplicated=%d reordered=%d", ns.Dropped, ns.Duplicated, ns.Reordered)
+	}
+	if u := a.Unaccounted(); u != 0 {
+		t.Errorf("Unaccounted = %d, want 0; ledger: %+v", u, a)
+	}
+	if ts := res.Stats.TramStats; ts.PoolGets != ts.PoolPuts {
+		t.Errorf("tram pool leak: PoolGets=%d PoolPuts=%d", ts.PoolGets, ts.PoolPuts)
+	}
+}

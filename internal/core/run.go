@@ -48,12 +48,14 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	}
 
 	rt, err := runtime.New(runtime.Config{
-		Topo:    topo,
-		Latency: opts.Latency,
-		Combine: combineReduce,
-		Trace:   opts.Trace,
-		Jitter:  opts.Jitter,
-		Metrics: opts.Metrics,
+		Topo:        topo,
+		Latency:     opts.Latency,
+		Combine:     combineReduce,
+		Trace:       opts.Trace,
+		Jitter:      opts.Jitter,
+		Fault:       opts.Fault,
+		Reliability: opts.Reliability,
+		Metrics:     opts.Metrics,
 	})
 	if err != nil {
 		return nil, err

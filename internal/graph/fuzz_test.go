@@ -19,6 +19,10 @@ func FuzzGraphLoadCSV(f *testing.F) {
 	f.Add("0,0,0\n", 1)
 	f.Add("junk\n9,9,9\n-1,0\n0,1,NaN\n0,1,-2\n", 4)
 	f.Add("0,1,1e300\n1,0,4.9e-324\n", 2)
+	f.Add("0,1,2.5\r\n1,2,3\r\n", 3)            // CRLF line endings
+	f.Add("\ufeff0,1,2.5\n1,0,3\n", 2)          // UTF-8 byte-order mark
+	f.Add("0,1,2.5\n\n\n  \n\t\n", 2)           // trailing blank lines
+	f.Add("\ufeff# header\r\n0,1,1\r\n\r\n", 2) // all three at once
 	f.Fuzz(func(t *testing.T, data string, numVertices int) {
 		// Bound the vertex count: Build allocates offsets proportional to
 		// it, and the parser's behavior does not depend on the magnitude.

@@ -239,6 +239,26 @@ func TestReadCSVFormats(t *testing.T) {
 	}
 }
 
+// TestReadCSVWindowsArtifacts pins tolerance for the byte-level noise real
+// edge-list files carry: a UTF-8 byte-order mark (not unicode whitespace,
+// so TrimSpace alone leaves it glued to the first vertex id), CRLF line
+// endings, and trailing blank lines.
+func TestReadCSVWindowsArtifacts(t *testing.T) {
+	in := "\ufeff# header\r\n0,1,2.5\r\n1,2,3\r\n2,0,1\r\n\r\n  \r\n"
+	g, err := ReadCSV(strings.NewReader(in), 3)
+	if err != nil {
+		t.Fatalf("BOM/CRLF input rejected: %v", err)
+	}
+	if g.NumEdges() != 3 {
+		t.Fatalf("NumEdges = %d, want 3", g.NumEdges())
+	}
+	// The BOM is stripped only on line 1, where editors put it; mid-file
+	// U+FEFF is genuine garbage and must still be rejected.
+	if _, err := ReadCSV(strings.NewReader("0,1,1\n\ufeff1,2,1\n"), 3); err == nil {
+		t.Error("mid-file BOM accepted")
+	}
+}
+
 func TestReadCSVErrors(t *testing.T) {
 	cases := []string{
 		"0",        // too few fields

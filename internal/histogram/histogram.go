@@ -77,8 +77,18 @@ func (h *Histogram) NumBuckets() int { return len(h.buckets) }
 // float space: converting first would overflow int for +Inf or very large
 // d (the conversion result is implementation-defined) and index out of
 // bounds.
+//
+// NaN lands in the LAST bucket, like +Inf. A NaN distance is a poisoned
+// value, not near-zero work: counting it in bucket 0 would inflate the low
+// end of the cumulative distribution and drag both thresholds down,
+// throttling healthy traffic. The top bucket keeps it out of the threshold
+// computation's hot range, consistent with every other not-a-finite-small
+// distance.
 func (h *Histogram) BucketOf(d float64) int {
-	if d <= 0 || math.IsNaN(d) {
+	if math.IsNaN(d) {
+		return len(h.buckets) - 1
+	}
+	if d <= 0 {
 		return 0
 	}
 	b := d / h.width

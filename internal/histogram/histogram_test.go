@@ -21,8 +21,9 @@ func TestBucketOfMapping(t *testing.T) {
 		{25, 2},
 		{5109.99, 510},
 		{5110, 511},
-		{1e12, 511}, // clamps to last bucket
-		{math.NaN(), 0},
+		{1e12, 511},        // clamps to last bucket
+		{math.NaN(), 511},  // poisoned value: top bucket, like +Inf
+		{math.Inf(1), 511}, // clamps to last bucket
 	}
 	for _, c := range cases {
 		if got := h.BucketOf(c.d); got != c.want {

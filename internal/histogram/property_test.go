@@ -111,7 +111,7 @@ func TestBucketOfMonotoneInDistance(t *testing.T) {
 		d    float64
 		want int
 	}{
-		{math.NaN(), 0},
+		{math.NaN(), 63}, // NaN is poisoned, not near-zero: top bucket, like +Inf
 		{-1, 0},
 		{math.Inf(-1), 0},
 		{0, 0},

@@ -1,0 +1,223 @@
+package netsim
+
+// Tests for the fault-injection surface beyond DropFilter — duplication and
+// adversarial reordering — plus the SendAfter timer facility and the pinned
+// mid-run DropFilter swap semantics.
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestDupFilterDeliversTwice: a duplicated message is delivered twice, the
+// copy is counted in Stats.Duplicated, and the queued counter drains to
+// zero — the ledger sees the ghost.
+func TestDupFilterDeliversTwice(t *testing.T) {
+	var got atomic.Int64
+	n, err := NewNetwork(SingleNode(2), ZeroLatency(), func(dst int, payload any) {
+		got.Add(int64(payload.(int)))
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.SetDupFilter(func(src, dst, size int) (time.Duration, bool) {
+		return 100 * time.Microsecond, true
+	})
+	if res := n.Send(0, 1, 7, 1); res != SendEnqueued {
+		t.Fatalf("Send = %v, want SendEnqueued", res)
+	}
+	n.Close()
+	if got.Load() != 14 {
+		t.Errorf("payload sum = %d, want 14 (original + duplicate)", got.Load())
+	}
+	st := n.Stats()
+	if st.MessagesSent != 1 {
+		t.Errorf("MessagesSent = %d, want 1 (the copy is not traffic)", st.MessagesSent)
+	}
+	if st.Duplicated != 1 {
+		t.Errorf("Duplicated = %d, want 1", st.Duplicated)
+	}
+	if n.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d after Close, want 0", n.QueueLen())
+	}
+}
+
+// TestReorderFilterBreaksFIFO: a reorder-released message scheduled with a
+// large extra delay is overtaken by a later send of the same pair — exactly
+// the violation the clamp otherwise forbids.
+func TestReorderFilterBreaksFIFO(t *testing.T) {
+	var mu sync.Mutex
+	var order []int
+	n, err := NewNetwork(SingleNode(2), ZeroLatency(), func(dst int, payload any) {
+		mu.Lock()
+		order = append(order, payload.(int))
+		mu.Unlock()
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := true
+	n.SetReorderFilter(func(src, dst, size int) (time.Duration, bool) {
+		if first {
+			first = false
+			return 5 * time.Millisecond, true
+		}
+		return 0, false
+	})
+	n.Send(0, 1, 1, 1) // released: held back 5ms
+	n.Send(0, 1, 2, 1) // normal: delivered immediately
+	n.Close()
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order) != 2 || order[0] != 2 || order[1] != 1 {
+		t.Fatalf("delivery order = %v, want [2 1] (later send overtakes released one)", order)
+	}
+	if st := n.Stats(); st.Reordered != 1 {
+		t.Errorf("Reordered = %d, want 1", st.Reordered)
+	}
+}
+
+// TestSendAfterFiresAtDelay: SendAfter delivers its payload after the given
+// delay, bypasses the drop filter, is not traffic, but does count toward
+// QueueLen while pending.
+func TestSendAfterFiresAtDelay(t *testing.T) {
+	fired := make(chan struct{})
+	n, err := NewNetwork(SingleNode(2), ZeroLatency(), func(dst int, payload any) {
+		close(fired)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A drop-everything filter must not touch timers.
+	n.SetDropFilter(func(src, dst, size int) bool { return true })
+	if res := n.SendAfter(1, "timer", 2*time.Millisecond); res != SendEnqueued {
+		t.Fatalf("SendAfter = %v, want SendEnqueued", res)
+	}
+	if q := n.QueueLen(); q != 1 {
+		t.Errorf("QueueLen = %d with a pending timer, want 1", q)
+	}
+	select {
+	case <-fired:
+	case <-time.After(5 * time.Second):
+		t.Fatal("timer never fired")
+	}
+	n.Close()
+	st := n.Stats()
+	if st.MessagesSent != 0 {
+		t.Errorf("MessagesSent = %d, want 0 (timers are not traffic)", st.MessagesSent)
+	}
+	if st.Dropped != 0 {
+		t.Errorf("Dropped = %d, want 0 (timers bypass the drop filter)", st.Dropped)
+	}
+}
+
+// TestSendAfterOnClosedNetwork: scheduling a timer on a closed network
+// reports SendClosed and delivers nothing.
+func TestSendAfterOnClosedNetwork(t *testing.T) {
+	var delivered atomic.Int64
+	n, err := NewNetwork(SingleNode(2), ZeroLatency(), func(dst int, payload any) {
+		delivered.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n.Close()
+	if res := n.SendAfter(0, "late", 0); res != SendClosed {
+		t.Fatalf("SendAfter after Close = %v, want SendClosed", res)
+	}
+	if res := n.Send(0, 1, "late", 1); res != SendClosed {
+		t.Fatalf("Send after Close = %v, want SendClosed", res)
+	}
+	if delivered.Load() != 0 {
+		t.Errorf("delivered = %d, want 0", delivered.Load())
+	}
+}
+
+// TestDropFilterMidRunSwap pins the mid-run swap semantics SetDropFilter
+// documents: filters may be installed, replaced and removed while senders
+// are firing, every Send consults exactly one filter, and the ledger stays
+// exact — enqueued (delivered after Close) plus Dropped equals the number
+// of Send calls that did not observe a closed lane. Run under -race this
+// also proves the swap itself is data-race-free.
+func TestDropFilterMidRunSwap(t *testing.T) {
+	if prev := runtime.GOMAXPROCS(0); prev < 4 {
+		runtime.GOMAXPROCS(4)
+		defer runtime.GOMAXPROCS(prev)
+	}
+	topo := SingleNode(8)
+	var delivered atomic.Int64
+	n, err := NewNetwork(topo, ZeroLatency(), func(dst int, payload any) {
+		delivered.Add(1)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	const senders = 4
+	const perSender = 20000
+	var enqueued atomic.Int64
+	var wg sync.WaitGroup
+	stopSwapping := make(chan struct{})
+	var swapperDone sync.WaitGroup
+
+	// The swapper flips between nil, drop-odd-destinations and drop-all as
+	// fast as it can while traffic is in flight.
+	swapperDone.Add(1)
+	go func() {
+		defer swapperDone.Done()
+		dropOdd := DropFilter(func(src, dst, size int) bool { return dst%2 == 1 })
+		dropAll := DropFilter(func(src, dst, size int) bool { return true })
+		for i := 0; ; i++ {
+			select {
+			case <-stopSwapping:
+				return
+			default:
+			}
+			switch i % 3 {
+			case 0:
+				n.SetDropFilter(nil)
+			case 1:
+				n.SetDropFilter(dropOdd)
+			case 2:
+				n.SetDropFilter(dropAll)
+			}
+			runtime.Gosched()
+		}
+	}()
+
+	for w := 0; w < senders; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perSender; i++ {
+				if n.Send(w, (w+i)%topo.TotalPEs(), i, 1) == SendEnqueued {
+					enqueued.Add(1)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	close(stopSwapping)
+	swapperDone.Wait()
+	n.Close()
+
+	st := n.Stats()
+	total := int64(senders * perSender)
+	if st.MessagesSent != enqueued.Load() {
+		t.Errorf("MessagesSent = %d, want %d (one count per enqueued Send)", st.MessagesSent, enqueued.Load())
+	}
+	if got := enqueued.Load() + st.Dropped; got != total {
+		t.Errorf("enqueued(%d) + dropped(%d) = %d, want %d: a Send consulted zero or two filters",
+			enqueued.Load(), st.Dropped, got, total)
+	}
+	if delivered.Load() != enqueued.Load() {
+		t.Errorf("delivered = %d, want %d (every enqueued message delivered after Close)",
+			delivered.Load(), enqueued.Load())
+	}
+	if n.QueueLen() != 0 {
+		t.Errorf("QueueLen = %d after Close, want 0", n.QueueLen())
+	}
+}

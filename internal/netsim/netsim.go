@@ -161,16 +161,83 @@ type Stats struct {
 	BytesByTier   [4]int64
 	MaxQueueDepth int64
 	Dropped       int64 // messages discarded by an injected fault filter
+	Duplicated    int64 // extra copies injected by a duplication filter
+	Reordered     int64 // messages released from the per-pair FIFO clamp
 }
+
+// SendResult reports what happened to one Send (or SendAfter) call. Callers
+// that assume a reliable fabric may ignore it; the reliable-delivery layer
+// (internal/relnet) uses it to keep its retransmit and ack ledgers exact.
+type SendResult uint8
+
+// Send outcomes.
+const (
+	// SendEnqueued: the message entered a lane and will be delivered.
+	SendEnqueued SendResult = iota
+	// SendDropped: an injected DropFilter discarded the message.
+	SendDropped
+	// SendClosed: the network was already closed; the message vanished.
+	SendClosed
+)
 
 // DropFilter decides whether to discard a message, for fault-injection
 // tests. It is consulted on every Send with the message's endpoints and
 // size; returning true drops the message silently — the failure mode of a
-// lossy fabric. Charm++ (and therefore ACIC) assumes reliable delivery;
-// the injection tests document what that assumption buys: a lost update
-// leaves the quiescence counters permanently unequal, so the algorithm
-// visibly hangs rather than silently producing wrong distances.
+// lossy fabric. Charm++ (and therefore ACIC's core counters) assume
+// reliable delivery; without the relnet layer a lost update leaves the
+// quiescence counters permanently unequal, so the algorithm visibly hangs
+// rather than silently producing wrong distances. With relnet installed the
+// dropped message is retransmitted until a copy gets through.
 type DropFilter func(src, dst, size int) bool
+
+// DupFilter injects duplicate deliveries, the second failure mode of a
+// lossy fabric (a retransmitting transport that loses the ack, a flaky NIC
+// ring). It is consulted on every enqueued Send; returning dup=true makes
+// the fabric enqueue a second copy of the message scheduled extra after the
+// original's deadline (negative extra is clamped to zero). The copy is a
+// ghost: it bypasses the per-pair FIFO clamp and does not advance the
+// pair's deadline floor, so it can land arbitrarily between — or long
+// after — legitimate traffic. Receivers without a dedup layer will process
+// it twice; Stats.Duplicated counts the injected copies.
+type DupFilter func(src, dst, size int) (extra time.Duration, dup bool)
+
+// ReorderFilter breaks the fabric's per-pair FIFO guarantee for selected
+// messages, modeling adversarial reordering (multipath routing, retried
+// RPCs). A message selected with reorder=true is scheduled extra after its
+// modeled delay, bypasses the per-pair FIFO clamp, and does not advance the
+// pair's deadline floor — so messages sent after it can overtake it.
+// Stats.Reordered counts the released messages. Only order-insensitive
+// receivers (label-correcting relaxation, the relnet dedup window) should
+// run under a ReorderFilter.
+type ReorderFilter func(src, dst, size int) (extra time.Duration, reorder bool)
+
+// FaultPlan bundles the fault filters a run installs on its fabric — the
+// shape run drivers and the stress harness pass around instead of three
+// separate setters. Nil members install nothing.
+type FaultPlan struct {
+	Drop    DropFilter
+	Dup     DupFilter
+	Reorder ReorderFilter
+}
+
+// Empty reports whether the plan installs no filter at all.
+func (p FaultPlan) Empty() bool {
+	return p.Drop == nil && p.Dup == nil && p.Reorder == nil
+}
+
+// ApplyFaults installs the plan's non-nil filters. Like the individual
+// setters it is safe mid-run, but runs normally call it before any Send.
+func (n *Network) ApplyFaults(p FaultPlan) {
+	if p.Drop != nil {
+		n.SetDropFilter(p.Drop)
+	}
+	if p.Dup != nil {
+		n.SetDupFilter(p.Dup)
+	}
+	if p.Reorder != nil {
+		n.SetReorderFilter(p.Reorder)
+	}
+}
 
 // JitterFunc perturbs the modeled delay of one message. It receives the
 // endpoints, the size in items, and the delay the LatencyModel assigned,
@@ -189,6 +256,8 @@ type Network struct {
 	model   LatencyModel
 	deliver func(dst int, payload any)
 	drop    atomic.Pointer[DropFilter]
+	dup     atomic.Pointer[DupFilter]
+	reorder atomic.Pointer[ReorderFilter]
 	jitter  atomic.Pointer[JitterFunc]
 
 	// epoch anchors all deadlines: deliveries are scheduled in nanoseconds
@@ -212,6 +281,8 @@ type Network struct {
 	itemsSent    *metrics.Counter
 	bytesByTier  [4]*metrics.Counter
 	dropped      *metrics.Counter
+	duplicated   *metrics.Counter
+	reordered    *metrics.Counter
 	maxDepth     *metrics.Gauge
 }
 
@@ -346,8 +417,10 @@ func NewNetworkWithRegistry(topo Topology, model LatencyModel, deliver func(dst 
 			reg.Counter("netsim.items_tier_node"),
 			reg.Counter("netsim.items_tier_machine"),
 		},
-		dropped:  reg.Counter("netsim.dropped"),
-		maxDepth: reg.Gauge("netsim.max_queue_depth"),
+		dropped:    reg.Counter("netsim.dropped"),
+		duplicated: reg.Counter("netsim.duplicated"),
+		reordered:  reg.Counter("netsim.reordered"),
+		maxDepth:   reg.Gauge("netsim.max_queue_depth"),
 	}
 	for i := range n.lanes {
 		n.lanes[i].nextAt.Store(laneEmpty)
@@ -360,16 +433,47 @@ func NewNetworkWithRegistry(topo Topology, model LatencyModel, deliver func(dst 
 // Topology returns the network's topology.
 func (n *Network) Topology() Topology { return n.topo }
 
-// SetDropFilter installs a fault-injection filter. Call before any Send;
-// the filter runs on sender goroutines — outside every fabric lock, so a
-// slow filter can never stall the dispatcher — and must be safe for
-// concurrent use. A nil filter (the default) delivers everything.
+// SetDropFilter installs a fault-injection filter. A nil filter (the
+// default) delivers everything.
+//
+// Mid-run swaps are race-free and permitted: the filter lives behind an
+// atomic pointer, every Send consults exactly one filter (loaded once,
+// before any fabric lock), and a swap never tears — a concurrent Send sees
+// either the old filter or the new one, never a mix, and the Dropped
+// counter advances only for messages the consulted filter rejected. What a
+// swap does NOT give is a delivery barrier: messages already enqueued by
+// the old filter's verdict are still in flight and will be delivered. The
+// filter runs on sender goroutines — outside every fabric lock, so a slow
+// filter can never stall the dispatcher — and must itself be safe for
+// concurrent use (TestDropFilterMidRunSwap pins these semantics).
 func (n *Network) SetDropFilter(f DropFilter) {
 	if f == nil {
 		n.drop.Store(nil)
 		return
 	}
 	n.drop.Store(&f)
+}
+
+// SetDupFilter installs a duplication fault filter (see DupFilter). The
+// same mid-run swap semantics as SetDropFilter apply. A nil filter (the
+// default) duplicates nothing.
+func (n *Network) SetDupFilter(f DupFilter) {
+	if f == nil {
+		n.dup.Store(nil)
+		return
+	}
+	n.dup.Store(&f)
+}
+
+// SetReorderFilter installs an adversarial-reordering filter (see
+// ReorderFilter). The same mid-run swap semantics as SetDropFilter apply.
+// A nil filter (the default) preserves per-pair FIFO for every message.
+func (n *Network) SetReorderFilter(f ReorderFilter) {
+	if f == nil {
+		n.reorder.Store(nil)
+		return
+	}
+	n.reorder.Store(&f)
 }
 
 // Model returns the latency model.
@@ -387,21 +491,41 @@ func (n *Network) SetJitter(j JitterFunc) {
 
 // Send schedules payload for delivery to dst's mailbox after the delay
 // implied by the (src, dst) tier and size (in items). It is safe for
-// concurrent use. Sending on a closed network is a no-op. A message counts
-// toward MessagesSent/ItemsSent/BytesByTier only when it is actually
-// enqueued: dropped and post-close sends are not traffic.
-func (n *Network) Send(src, dst int, payload any, size int) {
-	// The drop filter is user code: evaluate it before touching any
+// concurrent use. Sending on a closed network is a no-op (SendClosed). A
+// message counts toward MessagesSent/ItemsSent/BytesByTier only when it is
+// actually enqueued: dropped and post-close sends are not traffic.
+func (n *Network) Send(src, dst int, payload any, size int) SendResult {
+	// The fault filters are user code: evaluate them before touching any
 	// fabric lock so a slow filter cannot stall the dispatcher.
 	if f := n.drop.Load(); f != nil && (*f)(src, dst, size) {
 		n.dropped.Add(src, 1)
-		return
+		return SendDropped
 	}
 	tier := n.topo.TierOf(src, dst)
 	delay := n.model.Delay(tier, size)
 	if j := n.jitter.Load(); j != nil {
 		if delay = (*j)(src, dst, size, delay); delay < 0 {
 			delay = 0
+		}
+	}
+	var reorderExtra time.Duration
+	reordered := false
+	if f := n.reorder.Load(); f != nil {
+		if extra, ok := (*f)(src, dst, size); ok {
+			if extra < 0 {
+				extra = 0
+			}
+			reorderExtra, reordered = extra, true
+		}
+	}
+	var dupExtra time.Duration
+	duplicated := false
+	if f := n.dup.Load(); f != nil {
+		if extra, ok := (*f)(src, dst, size); ok {
+			if extra < 0 {
+				extra = 0
+			}
+			dupExtra, duplicated = extra, true
 		}
 	}
 	//acic:allow-wallclock latency injection maps simulated delay onto the real timeline by design
@@ -411,48 +535,110 @@ func (n *Network) Send(src, dst int, payload any, size int) {
 	la.mu.Lock()
 	if la.closed {
 		la.mu.Unlock()
-		return
+		return SendClosed
 	}
-	// Clamp the deadline so it never precedes an earlier send of the same
-	// (src, dst) pair: per-pair FIFO must hold for any delay function, not
-	// only monotone ones (the seq tiebreak alone covers only exact ties).
-	if la.pairAt == nil {
-		la.pairAt = make([]int64, len(n.lanes))
+	if reordered {
+		// Released from the FIFO clamp: the message is scheduled past its
+		// modeled delay and does not raise the pair's deadline floor, so
+		// later sends of the pair may overtake it.
+		at += int64(reorderExtra)
+	} else {
+		// Clamp the deadline so it never precedes an earlier send of the
+		// same (src, dst) pair: per-pair FIFO must hold for any delay
+		// function, not only monotone ones (the seq tiebreak alone covers
+		// only exact ties).
+		if la.pairAt == nil {
+			la.pairAt = make([]int64, len(n.lanes))
+		}
+		if at < la.pairAt[src] {
+			at = la.pairAt[src]
+		}
+		la.pairAt[src] = at
 	}
-	if at < la.pairAt[src] {
-		at = la.pairAt[src]
+	newHead := la.pushLocked(n, at, payload)
+	if duplicated {
+		// The copy is a ghost: no clamp, no pairAt update, so it lands
+		// wherever its deadline falls relative to legitimate traffic.
+		if la.pushLocked(n, at+int64(dupExtra), payload) {
+			newHead = true
+		}
 	}
-	la.pairAt[src] = at
-	la.seq++
-	la.q.push(delivery{at: at, seq: la.seq, payload: payload})
-	// queued must rise before the message becomes visible to the
-	// dispatcher (it cannot pop until this lock is released): incrementing
-	// after the unlock opens a window where a message is delivered and
-	// decremented first, letting QueueLen() read 0 — or negative — while
-	// traffic is outstanding, a false-quiescence hazard for any detector
-	// that trusts QueueLen.
-	depth := n.queued.Add(1)
-	newHead := la.q[0].at == at && la.q[0].seq == la.seq
+	depth := n.queued.Load()
 	if newHead {
-		la.nextAt.Store(at)
+		la.nextAt.Store(la.q[0].at)
 	}
 	la.mu.Unlock()
 
 	n.messagesSent.Add(src, 1)
 	n.itemsSent.Add(src, int64(size))
 	n.bytesByTier[tier].Add(src, int64(size))
+	if reordered {
+		n.reordered.Add(src, 1)
+	}
+	if duplicated {
+		n.duplicated.Add(src, 1)
+	}
 	// Per-src high-water mark of the global depth: the gauge's Max over
 	// shards recovers the machine-wide maximum the old CAS loop tracked.
 	n.maxDepth.SetMax(src, depth)
 	if newHead {
-		// This message is now its lane's earliest; the dispatcher may be
-		// sleeping toward a later deadline. Non-blocking nudge: a full
+		// A pushed message is now its lane's earliest; the dispatcher may
+		// be sleeping toward a later deadline. Non-blocking nudge: a full
 		// buffer means a wake is already pending.
 		select {
 		case n.wake <- struct{}{}:
 		default:
 		}
 	}
+	return SendEnqueued
+}
+
+// pushLocked enqueues one delivery while the lane lock is held and reports
+// whether it became the lane's new head. queued must rise before the
+// message becomes visible to the dispatcher (it cannot pop until the lane
+// lock is released): incrementing after the unlock opens a window where a
+// message is delivered and decremented first, letting QueueLen() read 0 —
+// or negative — while traffic is outstanding, a false-quiescence hazard for
+// any detector that trusts QueueLen.
+func (la *lane) pushLocked(n *Network, at int64, payload any) bool {
+	la.seq++
+	n.queued.Add(1)
+	la.q.push(delivery{at: at, seq: la.seq, payload: payload})
+	return la.q[0].at == at && la.q[0].seq == la.seq
+}
+
+// SendAfter schedules payload for delivery to dst exactly delay from now,
+// bypassing the latency model, every fault filter, the per-pair FIFO clamp
+// and the traffic counters. It is the fabric's timer facility: the
+// reliable-delivery layer schedules its retransmit and delayed-ack checks
+// through it, so timeouts ride the same simulated timeline as the traffic
+// they guard — no second clock, no polling. Timer deliveries still count
+// toward QueueLen (a pending timer is a reason not to declare the fabric
+// quiet) and are delivered in deadline order like any message.
+func (n *Network) SendAfter(dst int, payload any, delay time.Duration) SendResult {
+	if delay < 0 {
+		delay = 0
+	}
+	//acic:allow-wallclock timer deadlines live on the same real timeline the fabric schedules on
+	at := int64(time.Since(n.epoch) + delay)
+	la := &n.lanes[dst]
+	la.mu.Lock()
+	if la.closed {
+		la.mu.Unlock()
+		return SendClosed
+	}
+	newHead := la.pushLocked(n, at, payload)
+	if newHead {
+		la.nextAt.Store(at)
+	}
+	la.mu.Unlock()
+	if newHead {
+		select {
+		case n.wake <- struct{}{}:
+		default:
+		}
+	}
+	return SendEnqueued
 }
 
 // dispatch delivers queued messages at their deadlines. It scans the
@@ -563,5 +749,7 @@ func (n *Network) Stats() Stats {
 		},
 		MaxQueueDepth: n.maxDepth.Max(),
 		Dropped:       n.dropped.Value(),
+		Duplicated:    n.duplicated.Value(),
+		Reordered:     n.reordered.Value(),
 	}
 }

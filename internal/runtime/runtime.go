@@ -32,6 +32,7 @@ import (
 
 	"acic/internal/metrics"
 	"acic/internal/netsim"
+	"acic/internal/relnet"
 	"acic/internal/trace"
 )
 
@@ -83,6 +84,21 @@ type Config struct {
 	// given poll interval; zero disables it. On detection a Quiescence
 	// message is delivered to PE 0.
 	QuiescencePoll time.Duration
+	// Reliability, when non-nil, inserts the reliable-delivery layer
+	// (internal/relnet) between the runtime's send path and the fabric:
+	// every envelope is sequence-stamped, retained until acknowledged, and
+	// retransmitted on timeout, while the receive side deduplicates — so
+	// the sent/delivered conservation atomics keep their exactly-once
+	// meaning even under injected drop, duplication and reordering faults.
+	// Installing reliability disables the zero-latency mailbox bypass so
+	// that every envelope crosses the fabric and gets a sequence number.
+	// The layer's Metrics/Trace default to this Config's when left nil.
+	Reliability *relnet.Config
+	// Fault installs the plan's filters on the fabric at construction and,
+	// like Jitter, disables the zero-latency mailbox bypass so every
+	// message is exposed to them. Runs that install filters directly via
+	// Network() keep the bypass and only cover non-zero-latency traffic.
+	Fault netsim.FaultPlan
 	// Jitter, when non-nil, perturbs the modeled delay of every message
 	// (see netsim.JitterFunc). Installing jitter disables the zero-latency
 	// mailbox bypass so that every send crosses the simulated fabric and
@@ -113,6 +129,7 @@ func (c Config) controlMsgSize() int {
 type Runtime struct {
 	cfg Config
 	net *netsim.Network
+	rel *relnet.Layer // nil unless Config.Reliability is set
 	pes []*PE
 
 	// zeroBase is a per-(src,dst) bitmap of pairs whose tier has zero base
@@ -217,9 +234,11 @@ func New(cfg Config) (*Runtime, error) {
 	}
 	rt.noPerItem = cfg.Latency.PerItem == 0
 	rt.zeroBase = make([]uint64, (numPEs*numPEs+63)/64)
-	if cfg.Jitter == nil {
-		// With jitter installed no pair is reliably zero-delay, so the
-		// bitmap stays empty and every message crosses the fabric.
+	if cfg.Jitter == nil && cfg.Reliability == nil && cfg.Fault.Empty() {
+		// With jitter installed no pair is reliably zero-delay, with
+		// reliability installed every envelope needs a sequence number, and
+		// with a fault plan every message must face the filters — in each
+		// case the bitmap stays empty and every message crosses the fabric.
 		for src := 0; src < numPEs; src++ {
 			for dst := 0; dst < numPEs; dst++ {
 				if cfg.Latency.Delay(cfg.Topo.TierOf(src, dst), 0) == 0 {
@@ -235,7 +254,25 @@ func New(cfg Config) (*Runtime, error) {
 	rt.mIdleWork = cfg.Metrics.Counter("runtime.idle_work")
 	rt.mBlocks = cfg.Metrics.Counter("runtime.blocks")
 	rt.mSleptNs = cfg.Metrics.Counter("runtime.work_slept_ns")
+	if cfg.Reliability != nil {
+		relCfg := *cfg.Reliability
+		if relCfg.Metrics == nil {
+			relCfg.Metrics = cfg.Metrics
+		}
+		if relCfg.Trace == nil {
+			relCfg.Trace = cfg.Trace
+		}
+		rt.rel = relnet.New(relCfg, numPEs, func(dst int, payload any) {
+			rt.pes[dst].mbox.push(payload.(envelope))
+		})
+	}
 	net, err := netsim.NewNetworkWithRegistry(cfg.Topo, cfg.Latency, func(dst int, payload any) {
+		if rt.rel != nil {
+			// The layer deduplicates and strips its framing, then hands
+			// application envelopes to the mailbox push above.
+			rt.rel.OnFabric(dst, payload)
+			return
+		}
 		rt.pes[dst].mbox.push(payload.(envelope))
 	}, cfg.Metrics)
 	if err != nil {
@@ -244,7 +281,11 @@ func New(cfg Config) (*Runtime, error) {
 	if cfg.Jitter != nil {
 		net.SetJitter(cfg.Jitter)
 	}
+	net.ApplyFaults(cfg.Fault)
 	rt.net = net
+	if rt.rel != nil {
+		rt.rel.Bind(net)
+	}
 	return rt, nil
 }
 
@@ -324,13 +365,22 @@ func (rt *Runtime) MessagesSent() int64 { return rt.sent.Load() }
 func (rt *Runtime) MessagesDelivered() int64 { return rt.delivered.Load() }
 
 // Audit is a snapshot of the runtime's message-conservation ledger. Every
-// sent envelope is exactly one of: dispatched (Delivered), still inside the
-// simulated fabric (NetQueue), discarded by an injected fault filter
-// (NetDropped), parked in a PE mailbox (MailboxBacklog), or pushed at a
-// mailbox that had already closed during shutdown (DroppedAtExit). The
-// identity Unaccounted() == 0 is exact once Wait has returned; mid-run
+// frame put onto the fabric — an original envelope send (Sent), a relnet
+// retransmission (Retransmits), a fabric-injected duplicate
+// (NetDuplicated) or a standalone ack (AcksSent) — is exactly one of:
+// dispatched to a handler (Delivered), still inside the simulated fabric
+// (NetQueue), discarded by an injected fault filter (NetDropped), parked in
+// a PE mailbox (MailboxBacklog), pushed at a mailbox that had already
+// closed during shutdown (DroppedAtExit), swallowed by the relnet dedup
+// window (DupDiscarded), or consumed as an ack by the layer (AcksConsumed).
+// The identity Unaccounted() == 0 is exact once Wait has returned (fabric
+// timer frames, which are uncounted, have all fired by then); mid-run
 // snapshots are only approximate because the counters are read at
-// different instants.
+// different instants and pending timers sit in NetQueue.
+//
+// Without Config.Reliability the relnet columns are zero and the identity
+// reduces to the pre-relnet one (with NetDuplicated covering fabric-level
+// duplication, which is then delivered twice).
 type Audit struct {
 	Sent           int64
 	Delivered      int64
@@ -338,23 +388,44 @@ type Audit struct {
 	NetDropped     int64
 	MailboxBacklog int64
 	DroppedAtExit  int64
+
+	// Reliable-delivery columns (zero without Config.Reliability).
+	Retransmits  int64 // data frames re-sent by the timeout machinery
+	DupDiscarded int64 // frames swallowed by the receiver dedup window
+	AcksSent     int64 // standalone ack frames handed to the fabric
+	AcksConsumed int64 // standalone ack frames consumed by the layer
+
+	// NetDuplicated counts fabric-injected duplicate copies (netsim
+	// DupFilter ghosts), with or without the reliability layer.
+	NetDuplicated int64
 }
 
-// Unaccounted returns the number of sent messages the ledger cannot place —
+// Unaccounted returns the number of fabric frames the ledger cannot place —
 // nonzero means a message was silently lost or double-counted somewhere.
 func (a Audit) Unaccounted() int64 {
-	return a.Sent - a.Delivered - a.NetQueue - a.NetDropped - a.MailboxBacklog - a.DroppedAtExit
+	return a.Sent + a.Retransmits + a.NetDuplicated + a.AcksSent -
+		a.Delivered - a.NetQueue - a.NetDropped - a.MailboxBacklog - a.DroppedAtExit -
+		a.DupDiscarded - a.AcksConsumed
 }
 
 // Audit snapshots the conservation ledger. Call after Wait for an exact
 // accounting; the schedule-stress harness checks Unaccounted() == 0 and
 // NetQueue == 0 after every run.
 func (rt *Runtime) Audit() Audit {
+	ns := rt.net.Stats()
 	a := Audit{
-		Sent:       rt.sent.Load(),
-		Delivered:  rt.delivered.Load(),
-		NetQueue:   int64(rt.net.QueueLen()),
-		NetDropped: rt.net.Stats().Dropped,
+		Sent:          rt.sent.Load(),
+		Delivered:     rt.delivered.Load(),
+		NetQueue:      int64(rt.net.QueueLen()),
+		NetDropped:    ns.Dropped,
+		NetDuplicated: ns.Duplicated,
+	}
+	if rt.rel != nil {
+		rs := rt.rel.Stats()
+		a.Retransmits = rs.Retransmits
+		a.DupDiscarded = rs.DupDiscarded
+		a.AcksSent = rs.AcksSent
+		a.AcksConsumed = rs.AcksConsumed
 	}
 	for _, pe := range rt.pes {
 		a.MailboxBacklog += int64(pe.mbox.len())
@@ -386,6 +457,10 @@ func (rt *Runtime) send(src, dst int, env envelope, size int) {
 	idx := src*len(rt.pes) + dst
 	if rt.zeroBase[idx>>6]&(1<<(idx&63)) != 0 && (rt.noPerItem || size == 0) {
 		rt.pes[dst].mbox.push(env)
+		return
+	}
+	if rt.rel != nil {
+		rt.rel.Send(src, dst, env, size)
 		return
 	}
 	rt.net.Send(src, dst, env, size)

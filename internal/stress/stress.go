@@ -18,10 +18,11 @@ import (
 	"acic/internal/kla"
 	"acic/internal/metrics"
 	"acic/internal/netsim"
+	"acic/internal/relnet"
 	"acic/internal/runtime"
 	"acic/internal/seq"
-	"acic/internal/tram"
 	"acic/internal/trace"
+	"acic/internal/tram"
 	"acic/internal/xrand"
 )
 
@@ -37,6 +38,10 @@ type Options struct {
 	Rounds int
 	// Profiles restricts the jitter profiles; nil means Profiles().
 	Profiles []Profile
+	// Faults restricts the fabric fault profiles exercised by the
+	// acic-with-reliability sub-matrix; nil means Faults(). The literal
+	// element FaultNone disables that sub-matrix entirely.
+	Faults []Fault
 	// Short shrinks the matrix and the graphs for a CI-speed smoke pass.
 	Short bool
 	// Only, when non-nil, replays exactly one run index from the
@@ -68,10 +73,17 @@ type Spec struct {
 	Graph   string
 	Topo    string
 	Profile Profile
-	Seed    uint64
+	// Fault is the fabric fault profile; FaultNone for the classic matrix.
+	// Fault runs execute acic with the relnet reliability layer enabled.
+	Fault Fault
+	Seed  uint64
 }
 
 func (s Spec) String() string {
+	if s.Fault != "" && s.Fault != FaultNone {
+		return fmt.Sprintf("run=%d algo=%s graph=%s topo=%s profile=%s fault=%s seed=%#x",
+			s.Index, s.Algo, s.Graph, s.Topo, s.Profile, s.Fault, s.Seed)
+	}
 	return fmt.Sprintf("run=%d algo=%s graph=%s topo=%s profile=%s seed=%#x",
 		s.Index, s.Algo, s.Graph, s.Topo, s.Profile, s.Seed)
 }
@@ -120,28 +132,56 @@ func enumerate(opts Options) []Spec {
 	if len(profiles) == 0 {
 		profiles = Profiles()
 	}
+	faults := opts.Faults
+	if len(faults) == 0 {
+		faults = Faults()
+	}
+	faultTopos := []string{"single4", "paper1"}
+	faultGraphs := []string{"uniform", "rmat"}
+	faultProfiles := []Profile{ProfileNone, ProfileUniform}
+	if opts.Short {
+		faultTopos = []string{"single4"}
+		faultGraphs = []string{"uniform"}
+		faultProfiles = []Profile{ProfileNone}
+	}
 	rounds := opts.Rounds
 	if rounds <= 0 {
 		rounds = 1
 	}
 	var specs []Spec
-	add := func(algo, graphName, topoName string, p Profile) {
+	add := func(algo, graphName, topoName string, p Profile, f Fault) {
 		idx := len(specs)
 		seed := xrand.NewSplitMix64(opts.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15).Next()
-		specs = append(specs, Spec{Index: idx, Algo: algo, Graph: graphName, Topo: topoName, Profile: p, Seed: seed})
+		specs = append(specs, Spec{Index: idx, Algo: algo, Graph: graphName, Topo: topoName, Profile: p, Fault: f, Seed: seed})
 	}
 	for r := 0; r < rounds; r++ {
 		for _, p := range profiles {
 			// The fabric hammer runs once per profile per round, plus the
 			// tightest-timing zero-latency case.
-			add("fabric", "-", "paper1", p)
+			add("fabric", "-", "paper1", p, FaultNone)
 		}
-		add("fabric", "-", "paper1", ProfileNone)
+		add("fabric", "-", "paper1", ProfileNone, FaultNone)
 		for _, algo := range Algorithms()[1:] {
 			for _, topoName := range topos {
 				for _, graphName := range graphs {
 					for _, p := range profiles {
-						add(algo, graphName, topoName, p)
+						add(algo, graphName, topoName, p, FaultNone)
+					}
+				}
+			}
+		}
+		// The lossy-fabric sub-matrix: acic over an actively hostile fabric
+		// (drop/dup/reorder filters) with the relnet reliability layer
+		// healing it. Same oracle, same conservation audit — now over the
+		// extended ledger identity with retransmit and dedup columns.
+		for _, f := range faults {
+			if f == FaultNone {
+				continue
+			}
+			for _, topoName := range faultTopos {
+				for _, graphName := range faultGraphs {
+					for _, p := range faultProfiles {
+						add("acic", graphName, topoName, p, f)
 					}
 				}
 			}
@@ -187,6 +227,11 @@ func buildGraph(name string, r *xrand.Rand, short bool) *graph.Graph {
 func Run(opts Options) (Report, error) {
 	for _, p := range opts.Profiles {
 		if _, err := ParseProfile(string(p)); err != nil {
+			return Report{}, err
+		}
+	}
+	for _, f := range opts.Faults {
+		if _, err := ParseFault(string(f)); err != nil {
 			return Report{}, err
 		}
 	}
@@ -239,24 +284,34 @@ func runWithTimeout(spec Spec, short bool, timeout time.Duration) error {
 }
 
 // specInputs reconstructs a run's deterministic inputs from its seed — the
-// topology, graph, source and jitter stream, drawn in exactly the order
-// runSpec consumes them — so an instrumented replay sees the identical
-// schedule envelope as the failed run.
-func specInputs(spec Spec, short bool) (netsim.Topology, *graph.Graph, int, netsim.JitterFunc) {
+// topology, graph, source, jitter stream and fault plan, drawn in exactly
+// the order runSpec consumes them — so an instrumented replay sees the
+// identical schedule envelope as the failed run. The fault seed is drawn
+// last (and drawn even for FaultNone specs) so the classic matrix keeps
+// its historical per-seed inputs.
+func specInputs(spec Spec, short bool) (netsim.Topology, *graph.Graph, int, netsim.JitterFunc, netsim.FaultPlan) {
 	r := xrand.New(spec.Seed)
 	topo := topoByName(spec.Topo)
 	g := buildGraph(spec.Graph, r, short)
 	src := r.Intn(g.NumVertices())
 	jit := NewJitter(spec.Profile, r.Uint64(), topo)
-	return topo, g, src, jit
+	fault := spec.Fault
+	if fault == "" {
+		fault = FaultNone
+	}
+	fp := NewFaultPlan(fault, r.Uint64(), topo)
+	return topo, g, src, jit, fp
 }
+
+// faulted reports whether spec runs over an actively hostile fabric.
+func (s Spec) faulted() bool { return s.Fault != "" && s.Fault != FaultNone }
 
 // runSpec executes one run and applies the oracle and invariant checks.
 func runSpec(spec Spec, short bool) error {
 	if spec.Algo == "fabric" {
 		return fabricStress(spec.Seed, spec.Profile, short)
 	}
-	topo, g, src, jit := specInputs(spec, short)
+	topo, g, src, jit, fp := specInputs(spec, short)
 	lat := netsim.DefaultLatency()
 
 	var (
@@ -267,8 +322,13 @@ func runSpec(spec Spec, short bool) error {
 	)
 	switch spec.Algo {
 	case "acic":
+		copts := core.Options{Topo: topo, Latency: lat, Jitter: jit}
+		if spec.faulted() {
+			copts.Fault = fp
+			copts.Reliability = &relnet.Config{}
+		}
 		var res *core.Result
-		res, err = core.Run(g, src, core.Options{Topo: topo, Latency: lat, Jitter: jit})
+		res, err = core.Run(g, src, copts)
 		if err == nil {
 			dist, audit, ts = res.Dist, res.Stats.Audit, res.Stats.TramStats
 		}
@@ -308,7 +368,7 @@ func runSpec(spec Spec, short bool) error {
 				return fmt.Errorf("oracle: label[%d] = %d, want %d", v, res.Labels[v], want[v])
 			}
 		}
-		return checkInvariants(res.Stats.Audit, res.Stats.TramStats)
+		return checkInvariants(res.Stats.Audit, res.Stats.TramStats, false)
 	default:
 		return fmt.Errorf("stress: unknown algorithm %q", spec.Algo)
 	}
@@ -319,7 +379,7 @@ func runSpec(spec Spec, short bool) error {
 	if i := seq.FirstMismatch(want.Dist, dist); i >= 0 {
 		return fmt.Errorf("oracle: dist[%d] = %g, want %g (source %d)", i, dist[i], want.Dist[i], src)
 	}
-	return checkInvariants(audit, ts)
+	return checkInvariants(audit, ts, spec.faulted())
 }
 
 // dumpArtifacts replays one failing acic spec with the full observability
@@ -336,25 +396,30 @@ func dumpArtifacts(spec Spec, short bool, artifactDir string, timeout time.Durat
 		fmt.Fprintf(log, "artifacts: %v\n", err)
 		return
 	}
-	topo, g, src, jit := specInputs(spec, short)
+	topo, g, src, jit, fp := specInputs(spec, short)
 	reg := metrics.New(topo.TotalPEs())
 	rec := trace.New(topo.TotalPEs(), 1<<16)
 	p := core.DefaultParams()
 	p.AuditTrace = true
+	copts := core.Options{
+		Topo:    topo,
+		Latency: netsim.DefaultLatency(),
+		Jitter:  jit,
+		Params:  p,
+		Trace:   rec,
+		Metrics: reg,
+	}
+	if spec.faulted() {
+		copts.Fault = fp
+		copts.Reliability = &relnet.Config{}
+	}
 	type outcome struct {
 		res *core.Result
 		err error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := core.Run(g, src, core.Options{
-			Topo:    topo,
-			Latency: netsim.DefaultLatency(),
-			Jitter:  jit,
-			Params:  p,
-			Trace:   rec,
-			Metrics: reg,
-		})
+		res, err := core.Run(g, src, copts)
 		done <- outcome{res, err}
 	}()
 	var auditRecs []core.ThresholdAudit
@@ -393,15 +458,19 @@ func dumpArtifacts(spec Spec, short bool, artifactDir string, timeout time.Durat
 }
 
 // checkInvariants audits the conservation ledger of a completed run.
-func checkInvariants(a runtime.Audit, ts tram.Stats) error {
+// faulted marks runs over an actively hostile fabric: drops (and dups, and
+// the retransmits healing them) are then expected and legal — the extended
+// identity must still balance exactly, but NetDropped != 0 is no longer a
+// failure.
+func checkInvariants(a runtime.Audit, ts tram.Stats, faulted bool) error {
 	if u := a.Unaccounted(); u != 0 {
-		return fmt.Errorf("conservation: %d messages unaccounted (sent=%d delivered=%d netq=%d netdrop=%d backlog=%d droppedAtExit=%d)",
-			u, a.Sent, a.Delivered, a.NetQueue, a.NetDropped, a.MailboxBacklog, a.DroppedAtExit)
+		return fmt.Errorf("conservation: %d messages unaccounted (sent=%d retrans=%d netdup=%d acksent=%d delivered=%d netq=%d netdrop=%d backlog=%d droppedAtExit=%d dupdiscard=%d ackconsumed=%d)",
+			u, a.Sent, a.Retransmits, a.NetDuplicated, a.AcksSent, a.Delivered, a.NetQueue, a.NetDropped, a.MailboxBacklog, a.DroppedAtExit, a.DupDiscarded, a.AcksConsumed)
 	}
 	if a.NetQueue != 0 {
 		return fmt.Errorf("conservation: fabric not drained, NetQueue=%d after Close", a.NetQueue)
 	}
-	if a.NetDropped != 0 {
+	if !faulted && a.NetDropped != 0 {
 		return fmt.Errorf("conservation: fabric dropped %d messages without an injected filter", a.NetDropped)
 	}
 	if ts.PoolGets != ts.PoolPuts {

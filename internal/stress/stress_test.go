@@ -1,8 +1,11 @@
 package stress
 
 import (
+	"strings"
 	"testing"
 	"time"
+
+	"acic/internal/netsim"
 )
 
 func TestParseProfile(t *testing.T) {
@@ -107,5 +110,106 @@ func TestRunOnlySelectsSingleRun(t *testing.T) {
 func TestRunRejectsBadProfile(t *testing.T) {
 	if _, err := Run(Options{Seed: 1, Profiles: []Profile{"bogus"}}); err == nil {
 		t.Error("bad profile accepted")
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	for _, f := range append(Faults(), FaultNone) {
+		got, err := ParseFault(string(f))
+		if err != nil || got != f {
+			t.Errorf("ParseFault(%q) = (%v, %v)", f, got, err)
+		}
+	}
+	if _, err := ParseFault("bogus"); err == nil {
+		t.Error("unknown fault accepted")
+	}
+}
+
+func TestRunRejectsBadFault(t *testing.T) {
+	if _, err := Run(Options{Seed: 1, Faults: []Fault{"bogus"}}); err == nil {
+		t.Error("bad fault accepted")
+	}
+}
+
+// TestFaultMatrixEnumeration pins the fault sub-matrix's shape: fault runs
+// are acic-only, carry a named fault in their String (the replay breadcrumb),
+// and Faults: []Fault{FaultNone} disables the sub-matrix without disturbing
+// the classic specs' indices or seeds.
+func TestFaultMatrixEnumeration(t *testing.T) {
+	with := enumerate(Options{Seed: 42, Short: true})
+	without := enumerate(Options{Seed: 42, Short: true, Faults: []Fault{FaultNone}})
+	if len(with) <= len(without) {
+		t.Fatalf("fault sub-matrix added no runs: %d vs %d", len(with), len(without))
+	}
+	for i := range without {
+		if with[i] != without[i] {
+			t.Fatalf("classic spec %d disturbed by fault sub-matrix: %+v vs %+v", i, with[i], without[i])
+		}
+	}
+	seen := map[Fault]bool{}
+	for _, s := range with[len(without):] {
+		if s.Algo != "acic" {
+			t.Errorf("fault run for non-acic algo: %+v", s)
+		}
+		if !s.faulted() {
+			t.Errorf("fault sub-matrix spec without a fault: %+v", s)
+		}
+		if !strings.Contains(s.String(), "fault="+string(s.Fault)) {
+			t.Errorf("Spec.String misses the fault: %s", s)
+		}
+		seen[s.Fault] = true
+	}
+	for _, f := range Faults() {
+		if !seen[f] {
+			t.Errorf("short fault sub-matrix never enumerates %s", f)
+		}
+	}
+}
+
+// TestFaultPlanDeterministic checks the replay property of fault decisions:
+// the fate of the n-th send of a pair depends only on (seed, pair, n), not
+// on interleaving with other pairs' traffic.
+func TestFaultPlanDeterministic(t *testing.T) {
+	topo := topoByName("single4")
+	for _, f := range Faults() {
+		p1 := NewFaultPlan(f, 7, topo)
+		p2 := NewFaultPlan(f, 7, topo)
+		probe := func(p netsim.FaultPlan, interleave bool) []bool {
+			var fates []bool
+			for i := 0; i < 400; i++ {
+				var hit bool
+				switch {
+				case p.Drop != nil:
+					hit = p.Drop(0, 1, 1)
+				case p.Dup != nil:
+					_, hit = p.Dup(0, 1, 1)
+				default:
+					_, hit = p.Reorder(0, 1, 1)
+				}
+				fates = append(fates, hit)
+				if interleave {
+					if p.Drop != nil {
+						p.Drop(2, 3, 1)
+					}
+				}
+			}
+			return fates
+		}
+		a, b := probe(p1, false), probe(p2, true)
+		hits := 0
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%s: send %d of pair (0,1) fated differently under interleaving", f, i)
+			}
+			if a[i] {
+				hits++
+			}
+		}
+		if hits == 0 {
+			t.Errorf("%s: 400 sends produced no fault decisions — rate too low to stress anything", f)
+		}
+	}
+	if !NewFaultPlan(FaultNone, 7, topo).Empty() {
+		t.Error("FaultNone produced a non-empty plan")
 	}
 }

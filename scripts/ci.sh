@@ -39,8 +39,12 @@ echo "== fuzz smoke (10s per target; one target per invocation) =="
 go test -run '^$' -fuzz '^FuzzGraphLoadCSV$' -fuzztime 10s ./internal/graph
 go test -run '^$' -fuzz '^FuzzHistogramMerge$' -fuzztime 10s ./internal/histogram
 
-echo "== schedule-stress harness (short matrix) =="
+echo "== schedule-stress harness (short matrix, incl. fault sub-matrix) =="
 go run ./cmd/acic-stress -short
 go run -race ./cmd/acic-stress -short -seed 2
+
+echo "== lossy-fabric stage (drop+dup+reorder healed by the relnet layer) =="
+go run ./cmd/acic-run -algo acic -kind random -scale 10 -fault lossy -verify
+go run -race ./cmd/acic-run -algo acic -kind random -scale 9 -fault lossy -verify
 
 echo "== ci green =="
