@@ -32,6 +32,7 @@ const Directive = "allow-wallclock"
 // Packages are the deterministic-simulation packages under enforcement.
 // Tests may add fixture paths.
 var Packages = map[string]bool{
+	"acic/internal/arena":     true,
 	"acic/internal/runtime":   true,
 	"acic/internal/netsim":    true,
 	"acic/internal/relnet":    true,

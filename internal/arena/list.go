@@ -1,0 +1,56 @@
+package arena
+
+// List is a chunked sequence of T backed by arena chunks. It replaces
+// grow-by-append slices in places that fill and drain repeatedly (the ACIC
+// hold buffers): appends go into the tail chunk, and Drain hands every
+// chunk back to the freelist and resets the list in O(chunks) — the outer
+// chunk slice keeps its capacity, so a steady park/drain cycle performs
+// zero allocations.
+//
+// A List is single-goroutine, like the owner freelist it draws from. The
+// zero value is an empty, usable list.
+type List[T any] struct {
+	chunks [][]T
+	n      int
+}
+
+// Len returns the number of items in the list.
+func (l *List[T]) Len() int { return l.n }
+
+// Append adds v, taking a fresh chunk from a (on behalf of owner) when the
+// tail chunk is full or the list is empty.
+func (l *List[T]) Append(a *Arena[T], owner int, v T) {
+	if k := len(l.chunks); k == 0 || len(l.chunks[k-1]) == cap(l.chunks[k-1]) {
+		l.chunks = append(l.chunks, a.Get(owner))
+	}
+	k := len(l.chunks) - 1
+	l.chunks[k] = append(l.chunks[k], v)
+	l.n++
+}
+
+// Drain calls fn for every item in append order, returns all chunks to
+// owner's freelist, and empties the list. fn must not touch the list.
+func (l *List[T]) Drain(a *Arena[T], owner int, fn func(T)) {
+	for i, c := range l.chunks {
+		for _, v := range c {
+			fn(v)
+		}
+		a.Put(owner, c)
+		l.chunks[i] = nil
+	}
+	l.chunks = l.chunks[:0]
+	l.n = 0
+}
+
+// TakeChunks moves the list's chunks out wholesale — ownership of each
+// chunk transfers to the caller (who typically sends it as a message and
+// lets the receiver put it back). The list is left empty with its outer
+// capacity intact. fn is called once per chunk in order.
+func (l *List[T]) TakeChunks(fn func([]T)) {
+	for i, c := range l.chunks {
+		fn(c)
+		l.chunks[i] = nil
+	}
+	l.chunks = l.chunks[:0]
+	l.n = 0
+}

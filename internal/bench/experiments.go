@@ -168,6 +168,7 @@ func (c Config) Fig5PQPercentile(values []float64) ([]SweepPoint, error) {
 
 func (c Config) sweepPercentile(values []float64, set func(*core.Params, float64)) ([]SweepPoint, error) {
 	points := make([]SweepPoint, 0, len(values))
+	sc := &core.Scratch{} // same shape every trial: recycle run state
 	for _, v := range values {
 		pt := SweepPoint{Value: v}
 		for trial := 0; trial < c.Trials; trial++ {
@@ -177,7 +178,7 @@ func (c Config) sweepPercentile(values []float64, set func(*core.Params, float64
 			}
 			p := c.acicParams()
 			set(&p, v)
-			res, err := core.Run(g, 0, core.Options{Topo: c.Topo(1), Latency: c.Latency, Params: p})
+			res, err := core.Run(g, 0, core.Options{Topo: c.Topo(1), Latency: c.Latency, Params: p, Scratch: sc})
 			if err != nil {
 				return nil, err
 			}
@@ -215,6 +216,7 @@ type BufferPoint struct {
 // low parallelism, smaller at high.
 func (c Config) Fig6BufferSize() ([]BufferPoint, error) {
 	var points []BufferPoint
+	sc := &core.Scratch{} // reused within each (nodes, capacity) cell
 	for _, nodes := range c.Nodes {
 		for _, capacity := range tram.SupportedCapacities {
 			pt := BufferPoint{Capacity: capacity, Nodes: nodes}
@@ -225,7 +227,7 @@ func (c Config) Fig6BufferSize() ([]BufferPoint, error) {
 				}
 				p := c.acicParams()
 				p.TramCapacity = capacity
-				res, err := core.Run(g, 0, core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: p})
+				res, err := core.Run(g, 0, core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: p, Scratch: sc})
 				if err != nil {
 					return nil, err
 				}
@@ -271,6 +273,7 @@ type ComparePoint struct {
 // configured node counts, producing the raw data behind Figs. 7-9.
 func (c Config) CompareACICDelta() ([]ComparePoint, error) {
 	var points []ComparePoint
+	sc := &core.Scratch{}
 	for _, kind := range []GraphKind{Random, RMAT} {
 		for _, nodes := range c.Nodes {
 			pt := ComparePoint{Kind: kind, Nodes: nodes}
@@ -282,7 +285,7 @@ func (c Config) CompareACICDelta() ([]ComparePoint, error) {
 				_, reach := g.ReachableFrom(0)
 				pt.ReachableEdges.Add(float64(reach))
 
-				ar, err := core.Run(g, 0, core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: c.acicParams()})
+				ar, err := core.Run(g, 0, core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: c.acicParams(), Scratch: sc})
 				if err != nil {
 					return nil, err
 				}
@@ -358,6 +361,7 @@ type ModePoint struct {
 // reports WP as the best choice for SSSP.
 func (c Config) AggregationModes(nodes int) ([]ModePoint, error) {
 	var points []ModePoint
+	sc := &core.Scratch{}
 	for _, mode := range []tram.Mode{tram.PP, tram.WP, tram.WW, tram.PW} {
 		pt := ModePoint{Mode: mode}
 		for trial := 0; trial < c.Trials; trial++ {
@@ -367,7 +371,7 @@ func (c Config) AggregationModes(nodes int) ([]ModePoint, error) {
 			}
 			p := c.acicParams()
 			p.TramMode = mode
-			res, err := core.Run(g, 0, core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: p})
+			res, err := core.Run(g, 0, core.Options{Topo: c.Topo(nodes), Latency: c.Latency, Params: p, Scratch: sc})
 			if err != nil {
 				return nil, err
 			}

@@ -30,10 +30,13 @@ func BenchmarkHotPathSSSP(b *testing.B) {
 	p := c.acicParams()
 	p.ComputeCost = 0
 	topo := c.Topo(1)
+	// One Scratch for all iterations: steady-state runs recycle the chunk
+	// arena, contribution pool and per-PE state instead of reallocating.
+	sc := &core.Scratch{}
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := core.Run(g, 0, core.Options{Topo: topo, Latency: c.Latency, Params: p}); err != nil {
+		if _, err := core.Run(g, 0, core.Options{Topo: topo, Latency: c.Latency, Params: p, Scratch: sc}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -192,6 +192,11 @@ type Options struct {
 	// exact (see internal/relnet). The zero relnet.Config is a usable
 	// default.
 	Reliability *relnet.Config
+	// Scratch, when non-nil, recycles per-run allocations across repeated
+	// Runs of the same shape (see Scratch). Benchmark and stress drivers
+	// set this; one-shot callers leave it nil. Must not be shared by
+	// concurrent Runs.
+	Scratch *Scratch
 }
 
 // Stats aggregates the measurements the paper reports.

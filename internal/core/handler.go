@@ -4,6 +4,7 @@ import (
 	"math"
 	"time"
 
+	"acic/internal/arena"
 	"acic/internal/graph"
 	"acic/internal/histogram"
 	"acic/internal/metrics"
@@ -41,17 +42,22 @@ type ctrlMsg struct {
 // reduceVal is the per-PE contribution combined up the reduction tree.
 // holds carries each PE's hold accounting from the previous broadcast's
 // drain, so the root's audit record sees machine-wide hold populations.
+// Values (with their histograms) recycle through runPools: combineReduce
+// frees the absorbed side, OnReduction frees the merged result.
 type reduceVal struct {
 	hist      *histogram.Histogram
 	finalized int64
 	holds     holdStats
 }
 
-func combineReduce(a, b any) any {
+// combineReduce merges b into a and recycles b. It may run concurrently on
+// different PE goroutines; the pool is mutex-guarded.
+func (sh *sharedState) combineReduce(a, b any) any {
 	av, bv := a.(*reduceVal), b.(*reduceVal)
 	av.hist.Merge(bv.hist)
 	av.finalized += bv.finalized
 	av.holds.add(bv.holds)
+	sh.pools.putReduceVal(bv)
 	return av
 }
 
@@ -66,9 +72,21 @@ type peState struct {
 	parent []int32   // predecessor on the best known path, -1 if none
 
 	hist     *histogram.Histogram
-	queue    *pq.BinaryHeap // accepted updates, min-distance first
-	pqHold   [][]Update     // per-bucket holds above t_pq
-	tramHold [][]Update     // per-bucket holds above t_tram
+	queue    *pq.BinaryHeap       // accepted updates, min-distance first
+	pqHold   []arena.List[Update] // per-bucket holds above t_pq
+	tramHold []arena.List[Update] // per-bucket holds above t_tram
+
+	// tramDrainFn / pqDrainFn are the hold-drain callbacks, built once at
+	// construction so OnBroadcast's drain loop allocates no closures.
+	tramDrainFn func(Update)
+	pqDrainFn   func(Update)
+
+	// fwdBufs / fwdTouched are receiveBatch's demux scratch: one slot per
+	// PE, buffers borrowed from the tram pool only for owners that appear
+	// in the batch. fwdTouched lists the borrowed slots so teardown is
+	// O(owners present), not O(numPEs).
+	fwdBufs    [][]Update
+	fwdTouched []int32
 
 	tTram, tPQ   int
 	lowestActive float64
@@ -107,14 +125,24 @@ var (
 	_ Partition = (*partition.Chunked)(nil)
 )
 
-// sharedState is read-mostly state shared by all PEs of one run.
+// sharedState is read-mostly state shared by all PEs of one run. ar is the
+// update-chunk arena shared with tramlib (see DESIGN.md, "Arena
+// ownership"): hold chunks and demux buffers recycle through the same
+// per-PE freelists as tram batches. pools additionally recycles reduction
+// contributions.
 type sharedState struct {
-	g    *graph.Graph
-	part Partition
-	tm   *tram.Manager[Update]
-	rt   *runtime.Runtime
-	tr   *trace.Recorder
-	met  coreMetrics
+	g     *graph.Graph
+	part  Partition
+	tm    *tram.Manager[Update]
+	rt    *runtime.Runtime
+	tr    *trace.Recorder
+	met   coreMetrics
+	ar    *arena.Arena[Update]
+	pools *runPools
+
+	// Histogram shape, for allocating pooled contributions.
+	bucketCount int
+	bucketWidth float64
 }
 
 // coreMetrics are the algorithm's own instruments, nil (free no-ops) when
@@ -150,17 +178,61 @@ func newCoreMetrics(reg *metrics.Registry) coreMetrics {
 
 var _ runtime.Handler = (*peState)(nil)
 
-func newPEState(sh *sharedState, pe *runtime.PE, p Params) *peState {
+// newPEState builds one PE's handler, drawing its large allocations from
+// slot so repeated runs through a Scratch reuse them.
+func newPEState(sh *sharedState, pe *runtime.PE, p Params, slot *peSlot) *peState {
+	me := pe.Index()
+	n := sh.part.Size(me)
+	if cap(slot.dist) >= n {
+		slot.dist = slot.dist[:n]
+		slot.parent = slot.parent[:n]
+	} else {
+		slot.dist = make([]float64, n)
+		slot.parent = make([]int32, n)
+	}
+	if slot.hist == nil {
+		slot.hist = histogram.New(p.BucketCount, p.BucketWidth)
+	} else {
+		slot.hist.Reset()
+	}
+	if slot.queue == nil {
+		slot.queue = pq.NewBinaryHeap(64)
+	} else {
+		slot.queue.Reset()
+	}
+	if slot.pqHold == nil {
+		slot.pqHold = make([]arena.List[Update], p.BucketCount)
+		slot.tramHold = make([]arena.List[Update], p.BucketCount)
+	} else {
+		// An early-terminated previous run (TerminateOnAllFinal) can leave
+		// parked updates behind; hand their chunks back to the arena.
+		for b := range slot.pqHold {
+			if slot.pqHold[b].Len() > 0 {
+				slot.pqHold[b].Drain(sh.ar, me, func(Update) {})
+			}
+			if slot.tramHold[b].Len() > 0 {
+				slot.tramHold[b].Drain(sh.ar, me, func(Update) {})
+			}
+		}
+	}
+	if slot.fwdBufs == nil {
+		slot.fwdBufs = make([][]Update, sh.part.NumPEs())
+		// Each distinct owner appears at most once per batch, so the
+		// touched list can never outgrow this.
+		slot.fwdTouched = make([]int32, 0, sh.part.NumPEs())
+	}
 	st := &peState{
 		shared:       sh,
 		params:       p,
-		me:           pe.Index(),
-		dist:         make([]float64, sh.part.Size(pe.Index())),
-		parent:       make([]int32, sh.part.Size(pe.Index())),
-		hist:         histogram.New(p.BucketCount, p.BucketWidth),
-		queue:        pq.NewBinaryHeap(64),
-		pqHold:       make([][]Update, p.BucketCount),
-		tramHold:     make([][]Update, p.BucketCount),
+		me:           me,
+		dist:         slot.dist,
+		parent:       slot.parent,
+		hist:         slot.hist,
+		queue:        slot.queue,
+		pqHold:       slot.pqHold,
+		tramHold:     slot.tramHold,
+		fwdBufs:      slot.fwdBufs,
+		fwdTouched:   slot.fwdTouched[:0],
 		tTram:        p.BucketCount - 1, // everything flows until told otherwise
 		tPQ:          p.BucketCount - 1,
 		lowestActive: 0,
@@ -169,6 +241,17 @@ func newPEState(sh *sharedState, pe *runtime.PE, p Params) *peState {
 	for i := range st.dist {
 		st.dist[i] = math.Inf(1)
 		st.parent[i] = -1
+	}
+	st.tramDrainFn = func(u Update) { st.tramInsert(pe, u) }
+	st.pqDrainFn = func(u Update) {
+		// A held update whose vertex has since improved past it is dead:
+		// complete it here rather than pay a heap push/pop.
+		if st.localDist(u.Vertex) < u.Dist {
+			st.hist.AddProcessed(u.Dist)
+			st.shared.met.processed.Inc(st.me)
+			return
+		}
+		st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
 	}
 	return st
 }
@@ -213,7 +296,6 @@ func (st *peState) seed(pe *runtime.PE, source int32) {
 // are re-bundled per owner and forwarded intra-process, the role of the SMP
 // communication thread in the paper's configuration.
 func (st *peState) receiveBatch(pe *runtime.PE, items []Update) {
-	var forwards map[int][]Update
 	me := pe.Index()
 	st.shared.met.batchItems.Observe(me, int64(len(items)))
 	for _, u := range items {
@@ -222,17 +304,27 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []Update) {
 			st.receiveUpdate(pe, u)
 			continue
 		}
-		if forwards == nil {
-			forwards = make(map[int][]Update)
+		// Per-owner groups go into buffers borrowed from the tram pool.
+		// A batch never exceeds the tram capacity, so a group always fits
+		// one full-capacity buffer.
+		buf := st.fwdBufs[owner]
+		if buf == nil {
+			buf = st.shared.tm.Borrow(me)
+			st.fwdTouched = append(st.fwdTouched, int32(owner))
 		}
-		forwards[owner] = append(forwards[owner], u)
+		st.fwdBufs[owner] = append(buf, u)
 	}
-	for owner, group := range forwards {
-		pe.Send(owner, batchMsg{items: group}, len(group))
+	for _, owner := range st.fwdTouched {
+		group := st.fwdBufs[owner]
+		st.fwdBufs[owner] = nil
+		// Ownership of the buffer travels with the message; the receiving
+		// PE's receiveBatch returns it to the pool.
+		pe.Send(int(owner), batchMsg{items: group}, len(group))
 	}
+	st.fwdTouched = st.fwdTouched[:0]
 	// The batch is fully unpacked (items copied or applied): recycle its
-	// backing array into the tram pool.
-	st.shared.tm.Release(items)
+	// backing array into this PE's freelist, lock-free.
+	st.shared.tm.ReleaseTo(me, items)
 }
 
 // receiveUpdate applies the arrival rules of §II-C: an update that improves
@@ -249,7 +341,7 @@ func (st *peState) receiveUpdate(pe *runtime.PE, u Update) {
 		if b := st.hist.BucketOf(u.Dist); b <= st.tPQ {
 			st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
 		} else {
-			st.pqHold[b] = append(st.pqHold[b], u)
+			st.pqHold[b].Append(st.shared.ar, st.me, u)
 			st.shared.met.pqParked.Inc(st.me)
 		}
 		return
@@ -303,7 +395,7 @@ func (st *peState) createUpdate(pe *runtime.PE, u Update) {
 	if b := st.hist.BucketOf(u.Dist); b <= st.tTram {
 		st.tramInsert(pe, u)
 	} else {
-		st.tramHold[b] = append(st.tramHold[b], u)
+		st.tramHold[b].Append(st.shared.ar, st.me, u)
 		st.shared.met.tramParked.Inc(st.me)
 	}
 }
@@ -318,7 +410,11 @@ func (st *peState) tramInsert(pe *runtime.PE, u Update) {
 // contribute snapshots the local histogram (and, optionally, the count of
 // locally finalized vertices) into reduction epoch.
 func (st *peState) contribute(pe *runtime.PE, epoch int64) {
-	rv := &reduceVal{hist: st.hist.Snapshot(), holds: st.pendingHolds}
+	sh := st.shared
+	rv := sh.pools.getReduceVal(sh.bucketCount, sh.bucketWidth)
+	st.hist.SnapshotInto(rv.hist)
+	rv.finalized = 0
+	rv.holds = st.pendingHolds
 	st.pendingHolds = holdStats{}
 	if st.params.TerminateOnAllFinal {
 		rv.finalized = st.countFinalized()
@@ -327,10 +423,10 @@ func (st *peState) contribute(pe *runtime.PE, epoch int64) {
 }
 
 // countHeld sums a hold's population across all buckets.
-func countHeld(hold [][]Update) int64 {
+func countHeld(hold []arena.List[Update]) int64 {
 	var n int64
-	for _, b := range hold {
-		n += int64(len(b))
+	for i := range hold {
+		n += int64(hold[i].Len())
 	}
 	return n
 }
@@ -351,10 +447,13 @@ func (st *peState) countFinalized() int64 {
 
 // OnReduction runs at the root: Algorithm 1 plus the quiescence check.
 func (st *peState) OnReduction(pe *runtime.PE, epoch int64, value any) {
+	rv := value.(*reduceVal)
+	// Everything below copies what it keeps (audit, trace snapshots), so
+	// the merged contribution goes back to the pool on every exit path.
+	defer st.shared.pools.putReduceVal(rv)
 	if st.terminated {
 		return
 	}
-	rv := value.(*reduceVal)
 	global := rv.hist
 	st.reductions++
 	st.shared.met.reductions.Inc(st.me)
@@ -444,33 +543,21 @@ func (st *peState) OnBroadcast(pe *runtime.PE, epoch int64, payload any) {
 	}
 
 	// Release tram holds within the new threshold, ascending buckets.
+	// Drain hands each emptied chunk straight back to this PE's freelist.
+	ar := st.shared.ar
 	for b := 0; b <= st.tTram; b++ {
-		if len(st.tramHold[b]) == 0 {
-			continue
+		if n := st.tramHold[b].Len(); n > 0 {
+			holds.tramDrained += int64(n)
+			st.tramHold[b].Drain(ar, st.me, st.tramDrainFn)
 		}
-		for _, u := range st.tramHold[b] {
-			st.tramInsert(pe, u)
-		}
-		holds.tramDrained += int64(len(st.tramHold[b]))
-		st.tramHold[b] = nil
 	}
-	// Release pq holds within the new threshold. A held update whose
-	// vertex has since improved past it is dead: complete it here rather
-	// than pay a heap push/pop.
+	// Release pq holds within the new threshold (dead-update elision lives
+	// in pqDrainFn).
 	for b := 0; b <= st.tPQ; b++ {
-		if len(st.pqHold[b]) == 0 {
-			continue
+		if n := st.pqHold[b].Len(); n > 0 {
+			holds.pqDrained += int64(n)
+			st.pqHold[b].Drain(ar, st.me, st.pqDrainFn)
 		}
-		for _, u := range st.pqHold[b] {
-			if st.localDist(u.Vertex) < u.Dist {
-				st.hist.AddProcessed(u.Dist)
-				st.shared.met.processed.Inc(st.me)
-				continue
-			}
-			st.queue.Push(pq.Item{Key: u.Dist, Value: int64(u.Vertex)})
-		}
-		holds.pqDrained += int64(len(st.pqHold[b]))
-		st.pqHold[b] = nil
 	}
 	holds.tramHeldAfter = holds.tramHeldBefore - holds.tramDrained
 	holds.pqHeldAfter = holds.pqHeldBefore - holds.pqDrained

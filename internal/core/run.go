@@ -31,7 +31,21 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		return nil, err
 	}
 
-	tm, err := tram.NewWithRegistry[Update](topo, params.TramMode, params.TramCapacity, opts.Metrics)
+	// Per-run pools come from the caller's Scratch when provided (repeated
+	// runs then recycle the arena, contribution and per-PE state), or a
+	// fresh throwaway one otherwise.
+	sc := opts.Scratch
+	if sc == nil {
+		sc = &Scratch{}
+	}
+	sc.prepare(scratchKey{
+		pes:         topo.TotalPEs(),
+		bucketCount: params.BucketCount,
+		tramCap:     params.TramCapacity,
+		width:       params.BucketWidth,
+	})
+
+	tm, err := tram.NewWithArena[Update](topo, params.TramMode, params.TramCapacity, opts.Metrics, sc.pools.ar)
 	if err != nil {
 		return nil, err
 	}
@@ -40,17 +54,21 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		part = partition.NewChunked(g.NumVertices(), topo.TotalPEs(), params.OverDecomposition)
 	}
 	sh := &sharedState{
-		g:    g,
-		part: part,
-		tm:   tm,
-		tr:   opts.Trace,
-		met:  newCoreMetrics(opts.Metrics),
+		g:           g,
+		part:        part,
+		tm:          tm,
+		tr:          opts.Trace,
+		met:         newCoreMetrics(opts.Metrics),
+		ar:          sc.pools.ar,
+		pools:       sc.pools,
+		bucketCount: params.BucketCount,
+		bucketWidth: params.BucketWidth,
 	}
 
 	rt, err := runtime.New(runtime.Config{
 		Topo:        topo,
 		Latency:     opts.Latency,
-		Combine:     combineReduce,
+		Combine:     sh.combineReduce,
 		Trace:       opts.Trace,
 		Jitter:      opts.Jitter,
 		Fault:       opts.Fault,
@@ -64,7 +82,7 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 
 	states := make([]*peState, topo.TotalPEs())
 	rt.Start(func(pe *runtime.PE) runtime.Handler {
-		st := newPEState(sh, pe, params)
+		st := newPEState(sh, pe, params, sc.slot(pe.Index()))
 		states[pe.Index()] = st
 		return st
 	})

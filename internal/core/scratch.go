@@ -1,0 +1,102 @@
+package core
+
+import (
+	"sync"
+
+	"acic/internal/arena"
+	"acic/internal/histogram"
+	"acic/internal/pq"
+)
+
+// Scratch recycles the per-run allocations of repeated Runs on the same
+// machine shape: the update-chunk arena shared by tramlib and the hold
+// buffers, the pooled reduction contributions, and every PE's distance /
+// parent / histogram / queue / hold state. Benchmark and stress drivers
+// that execute many runs back to back pass one Scratch through
+// Options.Scratch so the steady-state run performs no large allocations.
+//
+// A Scratch is keyed by the run shape (PE count, bucket count and width,
+// tram capacity). Passing it to a run with a different shape silently
+// discards the cached state and rebuilds it. A Scratch must not be shared
+// by concurrent Runs — it hands out exclusive state.
+type Scratch struct {
+	key   scratchKey
+	pools *runPools
+	slots []*peSlot
+}
+
+type scratchKey struct {
+	pes         int
+	bucketCount int
+	tramCap     int
+	width       float64
+}
+
+// runPools holds the cross-PE pools of one run: the chunk arena (shared
+// with tramlib so demux buffers, hold chunks and tram batches recycle
+// through one freelist) and the reduction-contribution pool.
+type runPools struct {
+	ar *arena.Arena[Update]
+
+	mu     sync.Mutex
+	rvFree []*reduceVal
+}
+
+// getReduceVal returns a pooled contribution value, allocating (with its
+// histogram) only when the pool is empty. The caller overwrites every
+// field, so no reset is needed here.
+func (p *runPools) getReduceVal(bucketCount int, width float64) *reduceVal {
+	p.mu.Lock()
+	if n := len(p.rvFree); n > 0 {
+		rv := p.rvFree[n-1]
+		p.rvFree[n-1] = nil
+		p.rvFree = p.rvFree[:n-1]
+		p.mu.Unlock()
+		return rv
+	}
+	p.mu.Unlock()
+	return &reduceVal{hist: histogram.New(bucketCount, width)}
+}
+
+func (p *runPools) putReduceVal(rv *reduceVal) {
+	p.mu.Lock()
+	p.rvFree = append(p.rvFree, rv)
+	p.mu.Unlock()
+}
+
+// peSlot is one PE's recycled state. Slices keep their backing arrays
+// across runs; newPEState re-lengths and re-initializes them.
+type peSlot struct {
+	dist       []float64
+	parent     []int32
+	hist       *histogram.Histogram
+	queue      *pq.BinaryHeap
+	pqHold     []arena.List[Update]
+	tramHold   []arena.List[Update]
+	fwdBufs    [][]Update
+	fwdTouched []int32
+}
+
+// prepare readies the scratch for a run of the given shape, discarding
+// cached state on shape mismatch.
+func (sc *Scratch) prepare(key scratchKey) {
+	if sc.key != key {
+		sc.pools = nil
+		sc.slots = nil
+		sc.key = key
+	}
+	if sc.pools == nil {
+		sc.pools = &runPools{ar: arena.New[Update](key.pes, key.tramCap)}
+	}
+	if sc.slots == nil {
+		sc.slots = make([]*peSlot, key.pes)
+	}
+}
+
+// slot returns PE pe's recycled state, creating the slot on first use.
+func (sc *Scratch) slot(pe int) *peSlot {
+	if sc.slots[pe] == nil {
+		sc.slots[pe] = &peSlot{}
+	}
+	return sc.slots[pe]
+}

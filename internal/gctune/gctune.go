@@ -1,0 +1,93 @@
+// Package gctune applies opt-in garbage-collector shaping for the
+// long-running drivers (acic-run, sssp-bench). All three knobs are
+// standard Go runtime levers exposed as flags so a perf investigation can
+// A/B them without rebuilding or touching the environment:
+//
+//   - GC percent (GOGC): raising it trades heap footprint for fewer GC
+//     cycles — the arena/pool work makes the steady-state allocation rate
+//     low, so cycles are mostly triggered by per-run transients and a
+//     higher GOGC spaces them out.
+//   - Soft memory limit (GOMEMLIMIT): a ceiling that keeps a raised GC
+//     percent from growing the heap without bound.
+//   - Ballast: a large dead allocation that inflates the live heap, so
+//     the proportional GOGC trigger fires at a higher absolute threshold.
+//     The classic pre-GOMEMLIMIT idiom, kept because it composes with
+//     unmodified GOGC and is trivially observable in heap profiles.
+//
+// The zero Config applies nothing; Apply is a no-op the drivers can call
+// unconditionally.
+package gctune
+
+import (
+	"fmt"
+	"runtime/debug"
+)
+
+// Config selects the shaping to apply. Zero values leave the runtime's
+// defaults (or environment-provided GOGC/GOMEMLIMIT) untouched.
+type Config struct {
+	// GCPercent sets the GC target percentage (like GOGC); 0 means leave
+	// unchanged. Negative disables the pacer entirely (GOGC=off) — only
+	// sensible together with MemLimitMiB.
+	GCPercent int
+	// MemLimitMiB sets the soft memory limit in MiB (like GOMEMLIMIT);
+	// 0 means leave unchanged.
+	MemLimitMiB int64
+	// BallastMiB allocates this many MiB of dead heap, retained until
+	// Release is called on the returned Shaping; 0 allocates nothing.
+	BallastMiB int64
+}
+
+// Shaping records what Apply changed, for printing and for releasing the
+// ballast.
+type Shaping struct {
+	cfg     Config
+	ballast []byte
+}
+
+// Apply installs the configuration and returns a handle that keeps the
+// ballast (if any) alive. Call from main before the workload starts.
+func Apply(cfg Config) *Shaping {
+	s := &Shaping{cfg: cfg}
+	if cfg.GCPercent > 0 {
+		debug.SetGCPercent(cfg.GCPercent)
+	} else if cfg.GCPercent < 0 {
+		debug.SetGCPercent(-1)
+	}
+	if cfg.MemLimitMiB > 0 {
+		debug.SetMemoryLimit(cfg.MemLimitMiB << 20)
+	}
+	if cfg.BallastMiB > 0 {
+		s.ballast = make([]byte, cfg.BallastMiB<<20)
+	}
+	return s
+}
+
+// Active reports whether any knob was applied.
+func (s *Shaping) Active() bool {
+	return s.cfg.GCPercent != 0 || s.cfg.MemLimitMiB > 0 || s.cfg.BallastMiB > 0
+}
+
+// String describes the applied shaping, for run banners.
+func (s *Shaping) String() string {
+	if !s.Active() {
+		return "gc: default"
+	}
+	out := "gc:"
+	if s.cfg.GCPercent > 0 {
+		out += fmt.Sprintf(" percent=%d", s.cfg.GCPercent)
+	} else if s.cfg.GCPercent < 0 {
+		out += " percent=off"
+	}
+	if s.cfg.MemLimitMiB > 0 {
+		out += fmt.Sprintf(" memlimit=%dMiB", s.cfg.MemLimitMiB)
+	}
+	if s.cfg.BallastMiB > 0 {
+		out += fmt.Sprintf(" ballast=%dMiB", s.cfg.BallastMiB)
+	}
+	return out
+}
+
+// Release drops the ballast reference. The next GC reclaims it; shaping
+// percentages and limits stay as applied.
+func (s *Shaping) Release() { s.ballast = nil }

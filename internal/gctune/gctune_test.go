@@ -1,0 +1,57 @@
+package gctune
+
+import (
+	"runtime/debug"
+	"testing"
+)
+
+func TestZeroConfigIsNoOp(t *testing.T) {
+	before := debug.SetGCPercent(100)
+	debug.SetGCPercent(before)
+	s := Apply(Config{})
+	if s.Active() {
+		t.Error("zero config reports Active")
+	}
+	if got := s.String(); got != "gc: default" {
+		t.Errorf("String() = %q", got)
+	}
+	after := debug.SetGCPercent(before)
+	if after != before {
+		t.Errorf("zero config changed GC percent: %d -> %d", before, after)
+	}
+}
+
+func TestApplySetsAndDescribes(t *testing.T) {
+	orig := debug.SetGCPercent(100)
+	defer debug.SetGCPercent(orig)
+	s := Apply(Config{GCPercent: 400, BallastMiB: 1})
+	if !s.Active() {
+		t.Fatal("config not Active")
+	}
+	if got := debug.SetGCPercent(400); got != 400 {
+		t.Errorf("GC percent = %d, want 400", got)
+	}
+	if len(s.ballast) != 1<<20 {
+		t.Errorf("ballast = %d bytes, want %d", len(s.ballast), 1<<20)
+	}
+	want := "gc: percent=400 ballast=1MiB"
+	if got := s.String(); got != want {
+		t.Errorf("String() = %q, want %q", got, want)
+	}
+	s.Release()
+	if s.ballast != nil {
+		t.Error("Release kept the ballast")
+	}
+}
+
+func TestGCPercentOff(t *testing.T) {
+	orig := debug.SetGCPercent(100)
+	defer debug.SetGCPercent(orig)
+	s := Apply(Config{GCPercent: -1})
+	if got := debug.SetGCPercent(orig); got != -1 {
+		t.Errorf("GC percent = %d, want -1 (off)", got)
+	}
+	if got := s.String(); got != "gc: percent=off" {
+		t.Errorf("String() = %q", got)
+	}
+}

@@ -143,6 +143,19 @@ func (h *Histogram) Snapshot() *Histogram {
 	return c
 }
 
+// SnapshotInto copies h into dst — Snapshot without the allocation, for
+// callers that recycle contribution histograms through a pool. It panics
+// if shapes differ (a pooled histogram always matches its run's shape).
+func (h *Histogram) SnapshotInto(dst *Histogram) {
+	if len(dst.buckets) != len(h.buckets) {
+		panic(fmt.Sprintf("histogram: snapshot of %d buckets into %d", len(h.buckets), len(dst.buckets)))
+	}
+	dst.width = h.width
+	copy(dst.buckets, h.buckets)
+	dst.Created = h.Created
+	dst.Processed = h.Processed
+}
+
 // Merge adds other into h bucket-wise and accumulates the counters. It
 // panics if shapes differ.
 func (h *Histogram) Merge(other *Histogram) {

@@ -47,6 +47,9 @@ func NewBinaryHeap(capacity int) *BinaryHeap {
 // Len reports the number of stored items.
 func (h *BinaryHeap) Len() int { return len(h.items) }
 
+// Reset empties the heap, keeping its backing array for reuse.
+func (h *BinaryHeap) Reset() { h.items = h.items[:0] }
+
 // Push inserts an item.
 func (h *BinaryHeap) Push(it Item) {
 	h.items = append(h.items, it)

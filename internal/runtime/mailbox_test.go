@@ -10,7 +10,7 @@ import (
 func env(i int) envelope { return envelope{kind: kindApp, epoch: int64(i)} }
 
 func TestMailboxFIFO(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	for i := 0; i < 100; i++ {
 		m.push(env(i))
 	}
@@ -29,7 +29,7 @@ func TestMailboxFIFO(t *testing.T) {
 }
 
 func TestMailboxBlockingPop(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	done := make(chan envelope, 1)
 	go func() {
 		v, _ := m.pop()
@@ -52,7 +52,7 @@ func TestMailboxBlockingPop(t *testing.T) {
 }
 
 func TestMailboxCloseWakesConsumer(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	done := make(chan bool, 1)
 	go func() {
 		_, ok := m.pop()
@@ -71,7 +71,7 @@ func TestMailboxCloseWakesConsumer(t *testing.T) {
 }
 
 func TestMailboxDrainsBeforeCloseReturnsFalse(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	m.push(env(1))
 	m.push(env(2))
 	m.close()
@@ -87,7 +87,7 @@ func TestMailboxDrainsBeforeCloseReturnsFalse(t *testing.T) {
 }
 
 func TestMailboxPushAfterCloseDropped(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	m.close()
 	m.push(env(1))
 	if m.len() != 0 {
@@ -103,7 +103,7 @@ func TestMailboxPushAfterCloseDropped(t *testing.T) {
 // cycles, must neither lose nor reorder items, and a final drain must
 // return the remainder in order.
 func TestMailboxSwapDrainOrder(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	next := 0
 	pushed := 0
 	for round := 0; round < 200; round++ {
@@ -143,7 +143,7 @@ func TestMailboxSwapDrainOrder(t *testing.T) {
 // race detector: items from each producer arrive in that producer's send
 // order (per-producer FIFO), with nothing lost or duplicated.
 func TestMailboxConcurrentProducersFIFO(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	const producers, per = 8, 1000
 	var wg sync.WaitGroup
 	for p := 0; p < producers; p++ {
@@ -182,7 +182,7 @@ func TestMailboxConcurrentProducersFIFO(t *testing.T) {
 // a consumer is draining; after pop reports closed-and-drained, len must
 // be stable at zero and further pushes must be dropped. Run under -race.
 func TestMailboxCloseRace(t *testing.T) {
-	m := newMailbox()
+	m := newMailbox(4)
 	stop := make(chan struct{})
 	var wg sync.WaitGroup
 	for p := 0; p < 4; p++ {

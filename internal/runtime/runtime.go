@@ -208,10 +208,17 @@ const (
 	kindQuiesce
 )
 
+// envelope is the unit every mailbox moves; field order packs spill and
+// kind into one word so the struct stays at 32 bytes (copied on every
+// push/pop, and 256 of them sit in each spscRing).
 type envelope struct {
-	kind    envKind
 	epoch   int64
 	payload any
+	// spill, when non-zero, marks an SPSC-fast-path envelope that
+	// overflowed onto the mutex mailbox: the value is source PE + 1, and
+	// popping it credits that pair's spillPending (see mailbox.pushFrom).
+	spill int32
+	kind  envKind
 }
 
 // New creates a Runtime and starts its simulated network. Call Start to
@@ -221,7 +228,7 @@ func New(cfg Config) (*Runtime, error) {
 	numPEs := cfg.Topo.TotalPEs()
 	rt.pes = make([]*PE, numPEs)
 	for i := range rt.pes {
-		pe := &PE{rt: rt, index: i, mbox: newMailbox(), reductions: make(map[int64]*redState)}
+		pe := &PE{rt: rt, index: i, mbox: newMailbox(numPEs), reductions: make(map[int64]*redState)}
 		c1, c2, nc := treeChildren(i, numPEs)
 		pe.childL, pe.childR, pe.numChildren = -1, -1, nc
 		if c1 < numPEs {
@@ -452,11 +459,32 @@ func (rt *Runtime) Inject(dst int, msg any) {
 // The zero-delay decision is one bitmap load: the bit covers the tier's
 // base latency, and noPerItem/size==0 covers the serialization term, so
 // the outcome is identical to evaluating Delay(tier, size) == 0.
+//
+// send is the any-goroutine entry point (Inject, timers); its zero-delay
+// bypass takes the mailbox mutex. Sends originating on a PE goroutine go
+// through sendFrom, whose bypass uses that pair's SPSC ring instead.
 func (rt *Runtime) send(src, dst int, env envelope, size int) {
 	rt.sent.Add(1)
 	idx := src*len(rt.pes) + dst
 	if rt.zeroBase[idx>>6]&(1<<(idx&63)) != 0 && (rt.noPerItem || size == 0) {
 		rt.pes[dst].mbox.push(env)
+		return
+	}
+	if rt.rel != nil {
+		rt.rel.Send(src, dst, env, size)
+		return
+	}
+	rt.net.Send(src, dst, env, size)
+}
+
+// sendFrom is send for envelopes originating on src's own PE goroutine —
+// the single-producer requirement of the destination's per-source ring.
+// Every other aspect matches send.
+func (rt *Runtime) sendFrom(src, dst int, env envelope, size int) {
+	rt.sent.Add(1)
+	idx := src*len(rt.pes) + dst
+	if rt.zeroBase[idx>>6]&(1<<(idx&63)) != 0 && (rt.noPerItem || size == 0) {
+		rt.pes[dst].mbox.pushFrom(src, env)
 		return
 	}
 	if rt.rel != nil {
@@ -496,7 +524,7 @@ func (pe *PE) Topology() netsim.Topology { return pe.rt.cfg.Topo }
 // Send delivers msg to dst's handler after the simulated network delay for
 // a message of the given size (in items).
 func (pe *PE) Send(dst int, msg any, size int) {
-	pe.rt.send(pe.index, dst, envelope{kind: kindApp, payload: msg}, size)
+	pe.rt.sendFrom(pe.index, dst, envelope{kind: kindApp, payload: msg}, size)
 }
 
 // Delivered returns the number of application messages this PE has
@@ -581,7 +609,7 @@ func (pe *PE) absorb(epoch int64, value any) {
 		pe.selfPush(envelope{kind: kindReduceDone, epoch: epoch, payload: st.value})
 		return
 	}
-	pe.rt.send(pe.index, treeParent(pe.index),
+	pe.rt.sendFrom(pe.index, treeParent(pe.index),
 		envelope{kind: kindReducePartial, epoch: epoch, payload: st.value},
 		pe.rt.cfg.controlMsgSize())
 }
@@ -589,10 +617,10 @@ func (pe *PE) absorb(epoch int64, value any) {
 func (pe *PE) handleBroadcast(env envelope) {
 	size := pe.rt.cfg.controlMsgSize()
 	if pe.childL >= 0 {
-		pe.rt.send(pe.index, pe.childL, env, size)
+		pe.rt.sendFrom(pe.index, pe.childL, env, size)
 	}
 	if pe.childR >= 0 {
-		pe.rt.send(pe.index, pe.childR, env, size)
+		pe.rt.sendFrom(pe.index, pe.childR, env, size)
 	}
 	pe.handler.OnBroadcast(pe, env.epoch, env.payload)
 }

@@ -1,0 +1,70 @@
+package runtime
+
+import "sync/atomic"
+
+// ringCap is the SPSC ring capacity (power of two). 256 envelopes per
+// (src,dst) pair absorbs the bursts the zero-latency bypass sees between
+// scheduler turns; overflow falls back to the mutex mailbox (see
+// mailbox.pushFrom), so the value trades memory against fallback rate.
+const ringCap = 256
+
+// spscRing is a bounded single-producer single-consumer ring buffer of
+// envelopes — the zero-latency bypass fast path between one sending PE
+// goroutine (the producer) and one receiving PE's scheduler loop (the
+// consumer). head and tail are monotonically increasing positions; the
+// slot index is position & (ringCap-1). Cache-line padding keeps the two
+// sides from false-sharing each other's index.
+//
+// Memory model: the producer writes the slot, then publishes it with a
+// tail store; the consumer observes tail, reads the slot, then releases
+// it with a head store. Go's sync/atomic operations are sequentially
+// consistent, which also gives the Dekker-style guarantee the sleeping/
+// ringItems wakeup handshake in mailbox.pop relies on.
+type spscRing struct {
+	_    [64]byte
+	head atomic.Uint64 // next position to pop (consumer-owned)
+	_    [56]byte
+	tail atomic.Uint64 // next position to push (producer-owned)
+	_    [56]byte
+
+	// spillPending counts envelopes this pair has diverted to the mutex
+	// mailbox after an overflow and that the consumer has not yet popped.
+	// The producer re-enters the ring only when it reads zero, preserving
+	// per-pair FIFO across the spill (see mailbox.pushFrom).
+	spillPending atomic.Int64
+	// spilling is the producer's private sticky overflow flag; only the
+	// producer goroutine touches it.
+	spilling bool
+
+	buf [ringCap]envelope
+}
+
+// tryPush publishes env; it reports false when the ring is full.
+// Producer goroutine only.
+func (r *spscRing) tryPush(env envelope) bool {
+	t := r.tail.Load()
+	if t-r.head.Load() == ringCap {
+		return false
+	}
+	r.buf[t&(ringCap-1)] = env
+	r.tail.Store(t + 1)
+	return true
+}
+
+// tryPop removes the oldest envelope; ok is false when the ring is empty.
+// Consumer goroutine only.
+func (r *spscRing) tryPop() (envelope, bool) {
+	h := r.head.Load()
+	if h == r.tail.Load() {
+		return envelope{}, false
+	}
+	env := r.buf[h&(ringCap-1)]
+	r.buf[h&(ringCap-1)] = envelope{} // release payload for GC
+	r.head.Store(h + 1)
+	return env, true
+}
+
+// full reports whether a push would overflow. Producer goroutine only.
+func (r *spscRing) full() bool {
+	return r.tail.Load()-r.head.Load() == ringCap
+}

@@ -1,0 +1,222 @@
+package runtime
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestSPSCRingBasic pushes and pops through the raw ring.
+func TestSPSCRingBasic(t *testing.T) {
+	r := &spscRing{}
+	if _, ok := r.tryPop(); ok {
+		t.Fatal("pop from empty ring succeeded")
+	}
+	for i := 0; i < 10; i++ {
+		if !r.tryPush(envelope{epoch: int64(i)}) {
+			t.Fatalf("push %d failed on non-full ring", i)
+		}
+	}
+	for i := 0; i < 10; i++ {
+		env, ok := r.tryPop()
+		if !ok || env.epoch != int64(i) {
+			t.Fatalf("pop %d: ok=%v epoch=%d", i, ok, env.epoch)
+		}
+	}
+}
+
+// TestSPSCRingFullRejects fills the ring to capacity and checks overflow.
+func TestSPSCRingFullRejects(t *testing.T) {
+	r := &spscRing{}
+	for i := 0; i < ringCap; i++ {
+		if !r.tryPush(envelope{epoch: int64(i)}) {
+			t.Fatalf("push %d failed below capacity", i)
+		}
+	}
+	if r.tryPush(envelope{}) {
+		t.Fatal("push succeeded on full ring")
+	}
+	if !r.full() {
+		t.Fatal("full() false on full ring")
+	}
+	if _, ok := r.tryPop(); !ok {
+		t.Fatal("pop failed on full ring")
+	}
+	if !r.tryPush(envelope{}) {
+		t.Fatal("push failed after one pop")
+	}
+}
+
+// TestPushFromFIFOAcrossSpill is the ordering contract of the fast path:
+// a producer that overflows the ring, spills through the mutex path, and
+// resumes the ring must still deliver its envelopes in send order. The
+// consumer interleaves pops with the pushes to exercise ring -> spill ->
+// ring transitions.
+func TestPushFromFIFOAcrossSpill(t *testing.T) {
+	m := newMailbox(2)
+	const total = 10 * ringCap
+	next := int64(0) // next expected epoch on the consumer side
+	popSome := func(k int) {
+		for j := 0; j < k; j++ {
+			env, ok := m.tryPop()
+			if !ok {
+				t.Fatalf("tryPop ran dry at epoch %d", next)
+			}
+			if env.epoch != next {
+				t.Fatalf("out of order: got epoch %d, want %d", env.epoch, next)
+			}
+			next++
+		}
+	}
+	sent := int64(0)
+	// Phase 1: overflow the ring outright — ringCap go to the ring, the
+	// rest spill.
+	for i := 0; i < ringCap+50; i++ {
+		m.pushFrom(1, envelope{epoch: sent})
+		sent++
+	}
+	// Phase 2: drain half, push more (still spilling: spillPending > 0).
+	popSome(ringCap / 2)
+	for i := 0; i < 20; i++ {
+		m.pushFrom(1, envelope{epoch: sent})
+		sent++
+	}
+	// Phase 3: drain everything queued so far; the producer then resumes
+	// the ring.
+	popSome(int(sent - next))
+	for sent < total {
+		m.pushFrom(1, envelope{epoch: sent})
+		sent++
+		if sent%3 == 0 {
+			popSome(1)
+		}
+	}
+	popSome(int(sent - next))
+	if got := m.len(); got != 0 {
+		t.Fatalf("mailbox len = %d after full drain", got)
+	}
+}
+
+// TestPushFromConcurrent hammers one mailbox from several producer
+// goroutines — each with its own source id, as the runtime guarantees —
+// while the consumer drains, checking per-source FIFO and conservation.
+// Run under -race this also vets the ring's memory ordering.
+func TestPushFromConcurrent(t *testing.T) {
+	const producers = 4
+	const perProducer = 20000
+	m := newMailbox(producers)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		//nolint — test goroutines
+		go func(src int) {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				m.pushFrom(src, envelope{kind: kindApp, epoch: int64(i), payload: src})
+			}
+		}(p)
+	}
+	seen := make([]int64, producers)
+	got := 0
+	for got < producers*perProducer {
+		env, ok := m.pop()
+		if !ok {
+			t.Fatal("pop returned closed before all messages arrived")
+		}
+		src := env.payload.(int)
+		if env.epoch != seen[src] {
+			t.Fatalf("source %d out of order: got epoch %d, want %d", src, env.epoch, seen[src])
+		}
+		seen[src]++
+		got++
+	}
+	wg.Wait()
+	if m.len() != 0 {
+		t.Fatalf("mailbox len = %d after consuming everything", m.len())
+	}
+}
+
+// TestPushFromMixedWithPush interleaves fast-path and mutex-path traffic
+// and checks nothing is lost or double-counted.
+func TestPushFromMixedWithPush(t *testing.T) {
+	m := newMailbox(2)
+	const n = 3000
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() { // fast path, source 0
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			m.pushFrom(0, envelope{kind: kindApp, payload: "ring"})
+		}
+	}()
+	go func() { // mutex path (Inject/netsim style)
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			m.push(envelope{kind: kindApp, payload: "mutex"})
+		}
+	}()
+	ring, mutex := 0, 0
+	for ring+mutex < 2*n {
+		env, ok := m.pop()
+		if !ok {
+			t.Fatal("pop returned closed early")
+		}
+		if env.payload.(string) == "ring" {
+			ring++
+		} else {
+			mutex++
+		}
+	}
+	wg.Wait()
+	if ring != n || mutex != n {
+		t.Fatalf("got %d ring + %d mutex, want %d each", ring, mutex, n)
+	}
+	if m.len() != 0 {
+		t.Fatalf("len = %d after drain", m.len())
+	}
+}
+
+// TestPushFromLenCountsRingItems: len() (the audit's MailboxBacklog
+// column) must see ring-resident envelopes.
+func TestPushFromLenCountsRingItems(t *testing.T) {
+	m := newMailbox(2)
+	for i := 0; i < 5; i++ {
+		m.pushFrom(1, envelope{})
+	}
+	if got := m.len(); got != 5 {
+		t.Fatalf("len = %d with 5 ring items, want 5", got)
+	}
+	m.push(envelope{})
+	if got := m.len(); got != 6 {
+		t.Fatalf("len = %d with 5 ring + 1 mutex items, want 6", got)
+	}
+	for i := 0; i < 6; i++ {
+		if _, ok := m.tryPop(); !ok {
+			t.Fatalf("tryPop %d ran dry", i)
+		}
+	}
+	if got := m.len(); got != 0 {
+		t.Fatalf("len = %d after drain, want 0", got)
+	}
+}
+
+// TestSPSCSendZeroAlloc is the allocation-ceiling regression test for the
+// fast path: once the ring exists, a steady push/pop cycle must not
+// allocate (the envelope payload here is a pre-boxed value, as tram
+// batches are in the real hot path).
+func TestSPSCSendZeroAlloc(t *testing.T) {
+	m := newMailbox(2)
+	payload := any("batch")
+	m.pushFrom(1, envelope{payload: payload}) // create the ring
+	if _, ok := m.tryPop(); !ok {
+		t.Fatal("warm pop failed")
+	}
+	avg := testing.AllocsPerRun(1000, func() {
+		m.pushFrom(1, envelope{kind: kindApp, payload: payload})
+		if _, ok := m.tryPop(); !ok {
+			t.Fatal("pop failed")
+		}
+	})
+	if avg > 0 {
+		t.Errorf("warm SPSC push/pop allocates %.2f objects, want 0", avg)
+	}
+}

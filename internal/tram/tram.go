@@ -30,6 +30,7 @@ import (
 	"fmt"
 	"sync"
 
+	"acic/internal/arena"
 	"acic/internal/metrics"
 	"acic/internal/netsim"
 )
@@ -101,12 +102,15 @@ type Manager[T any] struct {
 
 	sets []bufferSet[T]
 
-	// pool recycles the backing arrays of flushed batches: a receiver
-	// calls Release after unpacking a batch, and the next buffer that
-	// starts filling reuses that capacity instead of growing from nil.
-	// Pooled arrays keep stale items beyond their length until reused;
-	// that is fine for the small value-typed updates tram carries.
-	pool sync.Pool
+	// pool recycles the backing arrays of flushed batches through a
+	// chunked arena: a receiver calls ReleaseTo (or Release) after
+	// unpacking a batch, and the next buffer that starts filling reuses
+	// that capacity instead of growing from nil. Pooled arrays keep stale
+	// items beyond their length until reused; that is fine for the small
+	// value-typed updates tram carries. The arena may be shared with other
+	// chunk users of the same run (hold buffers, demux forwards) via
+	// NewWithArena, so a chunk released by one subsystem refills another.
+	pool *arena.Arena[T]
 
 	// Counters live in a metrics.Registry (the caller's, or a private one
 	// when none is supplied), sharded by source PE so concurrent inserters
@@ -143,6 +147,16 @@ func New[T any](topo netsim.Topology, mode Mode, capacity int) (*Manager[T], err
 // managers sharing one registry share the counters — one manager per run
 // is the intended shape.
 func NewWithRegistry[T any](topo netsim.Topology, mode Mode, capacity int, reg *metrics.Registry) (*Manager[T], error) {
+	return NewWithArena[T](topo, mode, capacity, reg, nil)
+}
+
+// NewWithArena is NewWithRegistry with the manager's buffer recycling
+// backed by a caller-provided arena, so one run's tram buffers, hold
+// chunks and demux forwards all draw from a single chunk pool. The
+// arena's chunk capacity must equal the manager's buffer capacity (the
+// uniform size is what makes cross-subsystem recycling loss-free); a nil
+// arena selects a private one.
+func NewWithArena[T any](topo netsim.Topology, mode Mode, capacity int, reg *metrics.Registry, ar *arena.Arena[T]) (*Manager[T], error) {
 	if err := topo.Validate(); err != nil {
 		return nil, err
 	}
@@ -155,10 +169,16 @@ func NewWithRegistry[T any](topo netsim.Topology, mode Mode, capacity int, reg *
 	if reg == nil {
 		reg = metrics.New(topo.TotalPEs())
 	}
+	if ar == nil {
+		ar = arena.New[T](topo.TotalPEs(), capacity)
+	} else if ar.ChunkCap() != capacity {
+		return nil, fmt.Errorf("tram: arena chunk capacity %d != buffer capacity %d", ar.ChunkCap(), capacity)
+	}
 	m := &Manager[T]{
 		topo:          topo,
 		mode:          mode,
 		cap:           capacity,
+		pool:          ar,
 		inserts:       reg.Counter("tram.inserts"),
 		autoFlushes:   reg.Counter("tram.auto_flushes"),
 		manualFlushes: reg.Counter("tram.manual_flushes"),
@@ -251,31 +271,51 @@ func (m *Manager[T]) Insert(srcPE, dstPE int, item T) *Batch[T] {
 }
 
 // newBuf returns an empty buffer with full batch capacity, recycled from
-// the pool when a receiver has Released one. srcPE attributes the pool-get
-// to the inserting PE's counter shard.
+// the arena when a receiver has released one. srcPE attributes the
+// pool-get to the inserting PE's counter shard and selects its private
+// freelist (Insert always runs on the inserting PE's goroutine, so the
+// freelist access is synchronization-free).
 func (m *Manager[T]) newBuf(srcPE int) []T {
 	m.poolGets.Add(srcPE, 1)
-	if p, ok := m.pool.Get().(*[]T); ok {
-		return (*p)[:0]
-	}
-	return make([]T, 0, m.cap)
+	return m.pool.Get(srcPE)
+}
+
+// Borrow hands out one empty full-capacity buffer from srcPE's freelist
+// for uses outside the manager's own send buffers — e.g. the ACIC demux
+// re-bundling arrivals for sibling PEs. The borrowed buffer participates
+// in the pool-discipline ledger exactly like a flushed batch: whoever
+// finishes unpacking it must hand it back through ReleaseTo or Release.
+// Must be called from srcPE's goroutine.
+func (m *Manager[T]) Borrow(srcPE int) []T {
+	return m.newBuf(srcPE)
 }
 
 // Release returns a flushed batch's backing array to the manager so a
 // future buffer can reuse its capacity. Call it after fully unpacking
 // batch.Items; the slice must not be touched afterwards. Undersized slices
-// (e.g. re-bundled demux forwards) are ignored so the pool holds only
-// full-capacity arrays. Safe for concurrent use from any goroutine.
+// are ignored so the pool holds only full-capacity arrays. Safe for
+// concurrent use from any goroutine; receivers that know their own PE
+// index should prefer ReleaseTo, which skips the shared spill's lock.
 func (m *Manager[T]) Release(items []T) {
-	if cap(items) < m.cap {
-		return
-	}
 	// Release runs on receiver goroutines with no natural source shard;
 	// shard 0 keeps the total exact, which is all the pool-discipline
 	// invariant (PoolGets == PoolPuts at quiescence) needs.
+	if cap(items) < m.cap {
+		return
+	}
 	m.poolPuts.Add(0, 1)
-	items = items[:0]
-	m.pool.Put(&items)
+	m.pool.PutShared(items)
+}
+
+// ReleaseTo is Release for a receiver running on PE pe's goroutine: the
+// array lands on that PE's private freelist with no synchronization, so
+// the common unpack-and-release path of the ACIC hot loop touches no lock.
+func (m *Manager[T]) ReleaseTo(pe int, items []T) {
+	if cap(items) < m.cap {
+		return
+	}
+	m.poolPuts.Add(pe, 1)
+	m.pool.Put(pe, items)
 }
 
 // cut removes and wraps the buffer at destination index d. Caller holds the

@@ -377,9 +377,9 @@ func TestReleaseRecyclesBatchBuffers(t *testing.T) {
 	}
 	m.Release(first)
 	second := fill()
-	// sync.Pool may drop entries under GC pressure, so identity reuse is
-	// not guaranteed — but contents must be correct either way, and a
-	// recycled buffer must start empty (no stale items leaking through).
+	// Identity reuse is an implementation detail, not a guarantee — but
+	// contents must be correct either way, and a recycled buffer must
+	// start empty (no stale items leaking through).
 	for i, v := range second {
 		if v != i {
 			t.Fatalf("second batch[%d] = %d, want %d (stale pooled data?)", i, v, i)
@@ -395,9 +395,53 @@ func TestReleaseIgnoresUndersizedSlices(t *testing.T) {
 	// A demux-forward group is smaller than the batch capacity; Release
 	// must not poison the pool with it.
 	m.Release(make([]int, 0, 3))
-	if p, ok := m.pool.Get().(*[]int); ok {
-		if cap(*p) < 8 {
-			t.Fatalf("pool holds undersized buffer cap=%d, want >= 8", cap(*p))
+	m.ReleaseTo(0, make([]int, 0, 5))
+	if buf := m.pool.Get(0); cap(buf) != 8 {
+		t.Fatalf("pool issued buffer cap=%d, want exactly 8 (undersized slice pooled?)", cap(buf))
+	}
+}
+
+// TestBorrowReleaseLedger pins that Borrow participates in the pool
+// ledger like a regular buffer: every borrow matched by a release keeps
+// PoolGets == PoolPuts, the quiescence invariant.
+func TestBorrowReleaseLedger(t *testing.T) {
+	m, err := New[int](netsim.SingleNode(4), WP, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		buf := m.Borrow(1)
+		if len(buf) != 0 || cap(buf) != 8 {
+			t.Fatalf("Borrow: len=%d cap=%d, want 0/8", len(buf), cap(buf))
 		}
+		buf = append(buf, i)
+		if i%2 == 0 {
+			m.ReleaseTo(2, buf)
+		} else {
+			m.Release(buf)
+		}
+	}
+	st := m.Stats()
+	if st.PoolGets != st.PoolPuts || st.PoolGets != 10 {
+		t.Errorf("ledger gets=%d puts=%d, want 10=10", st.PoolGets, st.PoolPuts)
+	}
+}
+
+// TestReleaseToSteadyStateZeroAlloc is the allocation-ceiling regression
+// for the receiver-side release path: the old sync.Pool implementation
+// allocated a *[]T box on every Release; the arena path must not.
+func TestReleaseToSteadyStateZeroAlloc(t *testing.T) {
+	m, err := New[int](netsim.SingleNode(2), WW, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	buf := m.Borrow(0)
+	m.ReleaseTo(0, buf)
+	avg := testing.AllocsPerRun(1000, func() {
+		b := m.Borrow(0)
+		m.ReleaseTo(0, b)
+	})
+	if avg > 0 {
+		t.Errorf("Borrow+ReleaseTo allocates %.2f objects per cycle, want 0", avg)
 	}
 }

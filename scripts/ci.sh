@@ -1,7 +1,9 @@
 #!/usr/bin/env bash
 # Repository CI gate: vet, the project's own analyzers (acic-lint), build,
 # full test suite with a coverage floor, the race detector over every
-# package, a fuzz smoke pass, and the schedule-stress harness.
+# package, a fuzz smoke pass, the schedule-stress harness, and the perf
+# pipeline (benchmark smoke + regression gate against the committed
+# BENCH_N.json baseline).
 set -euo pipefail
 
 cd "$(dirname "$0")/.."
@@ -46,5 +48,20 @@ go run -race ./cmd/acic-stress -short -seed 2
 echo "== lossy-fabric stage (drop+dup+reorder healed by the relnet layer) =="
 go run ./cmd/acic-run -algo acic -kind random -scale 10 -fault lossy -verify
 go run -race ./cmd/acic-run -algo acic -kind random -scale 9 -fault lossy -verify
+
+echo "== bench smoke (every listed hot-path benchmark compiles and runs once) =="
+go test -run '^$' -bench . -benchtime=1x \
+  ./internal/runtime ./internal/netsim ./internal/tram ./internal/bench >/dev/null
+
+echo "== perf regression gate (scripts/bench.sh vs committed baseline) =="
+# Compare a fresh variance-aware record against the newest committed
+# baseline. cmd/benchdiff fails the stage on a >10% hot-path slowdown or
+# any allocs/op regression on a zero-alloc benchmark; noisy (flagged)
+# ns/op numbers are reported but never gated.
+baseline="$(ls BENCH_*.json | sort -V | tail -1)"
+bench_out="$(mktemp)"
+trap 'rm -f "$cover_out" "$bench_out"' EXIT
+scripts/bench.sh "$bench_out"
+go run ./cmd/benchdiff -gate "$baseline" "$bench_out"
 
 echo "== ci green =="
