@@ -3,24 +3,41 @@
 // patterns, exactly like a go/analysis multichecker:
 //
 //	go run ./cmd/acic-lint ./...
+//	go run ./cmd/acic-lint -json ./... > lint.json
+//	go run ./cmd/acic-lint -noalloc ./...
 //
 // Exit status: 0 clean, 1 findings, 2 load failure. scripts/ci.sh runs it
-// as a gate on every push.
+// (both modes) as a gate on every push.
 package main
 
 import (
+	"acic/internal/analysis"
+	"acic/internal/analysis/arenacheck"
+	"acic/internal/analysis/atomiccheck"
 	"acic/internal/analysis/detrand"
+	"acic/internal/analysis/dircheck"
+	"acic/internal/analysis/lockorder"
 	"acic/internal/analysis/locksend"
 	"acic/internal/analysis/multichecker"
+	"acic/internal/analysis/noalloc"
 	"acic/internal/analysis/nogoroutine"
 	"acic/internal/analysis/releasecheck"
+	"acic/internal/analysis/sharedpad"
 )
 
 func main() {
-	multichecker.Main(
-		detrand.Analyzer,
-		locksend.Analyzer,
-		nogoroutine.Analyzer,
-		releasecheck.Analyzer,
-	)
+	multichecker.Main(multichecker.Options{
+		Analyzers: []*analysis.Analyzer{
+			arenacheck.Analyzer,
+			atomiccheck.Analyzer,
+			detrand.Analyzer,
+			dircheck.Analyzer,
+			lockorder.Analyzer,
+			locksend.Analyzer,
+			nogoroutine.Analyzer,
+			releasecheck.Analyzer,
+			sharedpad.Analyzer,
+		},
+		Noalloc: noalloc.Check,
+	})
 }

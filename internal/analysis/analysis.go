@@ -37,9 +37,28 @@ type Pass struct {
 	Pkg       *types.Package
 	TypesInfo *types.Info
 
+	// Facts is the cross-package fact store shared by every pass of one
+	// driver invocation. Packages are analyzed in dependency order, so a
+	// fact exported while analyzing a dependency is visible when its
+	// dependents are analyzed — the mechanism behind the interprocedural
+	// analyzers (arenacheck sink summaries, atomiccheck field sets,
+	// lockorder acquisition graphs, releasecheck carrier fields). May be
+	// nil when a driver has no use for facts; the helpers below are
+	// nil-safe.
+	Facts *Facts
+
 	// Report publishes one diagnostic.
 	Report func(Diagnostic)
 }
+
+// ExportFact records a fact under this pass's analyzer namespace.
+func (p *Pass) ExportFact(key, value string) { p.Facts.Export(p.Analyzer.Name, key, value) }
+
+// ImportFact looks a fact up in this pass's analyzer namespace.
+func (p *Pass) ImportFact(key string) (string, bool) { return p.Facts.Import(p.Analyzer.Name, key) }
+
+// HasFact reports whether a fact exists in this pass's analyzer namespace.
+func (p *Pass) HasFact(key string) bool { _, ok := p.ImportFact(key); return ok }
 
 // Reportf reports a formatted diagnostic at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
@@ -50,6 +69,119 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
 type Diagnostic struct {
 	Pos     token.Pos
 	Message string
+}
+
+// Facts is a string-keyed, string-valued fact store scoped per analyzer.
+// Keys follow the ObjKey/FieldKey conventions ("pkgpath.Recv.Name"), with an
+// analyzer-chosen prefix when one analyzer exports facts of several kinds
+// ("sink:", "carrier:", "locks:", ...). Values carry small summaries in an
+// analyzer-private encoding (comma-joined lists, positions, or empty when
+// the key's existence is the fact).
+//
+// The zero value and the nil pointer are both usable empty stores that
+// silently drop exports, so analyzers need no nil checks on drivers that do
+// not thread facts through.
+type Facts struct {
+	m map[factKey]string
+}
+
+type factKey struct{ analyzer, key string }
+
+// NewFacts returns an empty fact store.
+func NewFacts() *Facts { return &Facts{m: make(map[factKey]string)} }
+
+// Export records value under (analyzer, key), overwriting any previous
+// value. No-op on a nil store.
+func (f *Facts) Export(analyzer, key, value string) {
+	if f == nil || f.m == nil {
+		return
+	}
+	f.m[factKey{analyzer, key}] = value
+}
+
+// Import returns the value recorded under (analyzer, key).
+func (f *Facts) Import(analyzer, key string) (string, bool) {
+	if f == nil || f.m == nil {
+		return "", false
+	}
+	v, ok := f.m[factKey{analyzer, key}]
+	return v, ok
+}
+
+// WithPrefix returns every key (with prefix trimmed) -> value recorded in
+// analyzer's namespace whose key starts with prefix.
+func (f *Facts) WithPrefix(analyzer, prefix string) map[string]string {
+	out := make(map[string]string)
+	if f == nil || f.m == nil {
+		return out
+	}
+	for k, v := range f.m {
+		if k.analyzer == analyzer && len(k.key) >= len(prefix) && k.key[:len(prefix)] == prefix {
+			out[k.key[len(prefix):]] = v
+		}
+	}
+	return out
+}
+
+// ObjKey returns a position-independent identifier for a function or
+// package-level object: "pkgpath.Recv.Name" for methods, "pkgpath.Name"
+// otherwise. Pointer receivers and generic instances unwrap to the named
+// receiver type.
+func ObjKey(obj types.Object) string {
+	if obj == nil {
+		return ""
+	}
+	pkg := ""
+	if obj.Pkg() != nil {
+		pkg = obj.Pkg().Path()
+	}
+	if fn, ok := obj.(*types.Func); ok {
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			if name := NamedRecvName(fn); name != "" {
+				return pkg + "." + name + "." + fn.Name()
+			}
+		}
+	}
+	return pkg + "." + obj.Name()
+}
+
+// FieldKey returns the identifier of field name on named type t:
+// "pkgpath.Type.field".
+func FieldKey(t *types.Named, name string) string {
+	pkg := ""
+	if t.Obj().Pkg() != nil {
+		pkg = t.Obj().Pkg().Path()
+	}
+	return pkg + "." + t.Obj().Name() + "." + name
+}
+
+// NamedRecvName returns the name of fn's receiver's named type ("" for
+// plain functions), unwrapping pointers and generic instances.
+func NamedRecvName(fn *types.Func) string {
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok || sig.Recv() == nil {
+		return ""
+	}
+	t := sig.Recv().Type()
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// NamedOf unwraps pointers and aliases to the named type of t, or nil.
+func NamedOf(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.Underlying().(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	n, _ := t.(*types.Named)
+	return n
 }
 
 // File returns the *ast.File of the pass that contains pos, or nil.

@@ -36,10 +36,18 @@ import (
 
 // Run loads each fixture package in order and applies the analyzer to every
 // one of them, checking // want expectations across all fixture files.
+//
+// Fixture packages share one analysis.Facts store, in listing order: a fact
+// exported while analyzing pkgPaths[0] is visible to the pass over
+// pkgPaths[1], mirroring the dependency-ordered fact flow of the real
+// multichecker driver. Interprocedural analyzers are therefore tested with
+// two fixture packages — the dependency exporting facts first, the
+// dependent consuming them second.
 func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string) {
 	t.Helper()
 	fset := token.NewFileSet()
 	checked := make(map[string]*types.Package)
+	facts := analysis.NewFacts()
 	srcImp := importer.ForCompiler(fset, "source", nil)
 	imp := importerFunc(func(path string) (*types.Package, error) {
 		if p, ok := checked[path]; ok {
@@ -75,6 +83,7 @@ func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgPaths ...string
 			Files:     files,
 			Pkg:       tpkg,
 			TypesInfo: info,
+			Facts:     facts,
 			Report:    func(d analysis.Diagnostic) { got = append(got, d) },
 		}
 		if err := a.Run(pass); err != nil {

@@ -1,0 +1,459 @@
+// Package arenacheck enforces arena chunk and tram buffer ownership: every
+// local bound from arena.Arena.Get or tram.Manager.Borrow must be released
+// (Put/PutShared/Release/ReleaseTo) or ownership-transferred on all paths,
+// and must not be used again after the release.
+//
+// The arena hands out fixed-capacity chunks from per-owner freelists; a
+// borrowed chunk that is dropped on some path drains the freelist exactly
+// like a leaked tram batch (see releasecheck) — the steady state silently
+// stops being allocation-free. Worse, a chunk that is *used after* being
+// put back aliases whatever the freelist hands out next: the DESIGN.md
+// "Arena ownership" rule that no arena-backed slice is retained across a
+// Scratch reset or reduction boundary is exactly a use-after-release of
+// this shape, so the analyzer flags any read of a chunk variable after the
+// statement that released it (until the variable is re-bound).
+//
+// Obligations are created where a Get/Borrow result is bound to a local and
+// checked with the shared ownership engine, starting at the statement after
+// the binding and propagating outward through enclosing statement lists: a
+// chunk borrowed inside an if-arm may legally be discharged later in the
+// enclosing block. An obligation created inside a loop body must be
+// discharged by the end of that iteration (stores — including storing
+// append(chunk, ...) — count, which is how the demux pattern
+// fwdBufs[owner] = append(buf, u) transfers ownership into the held-buffer
+// table). Hand-offs to other functions consult the ownership sink
+// summaries, so passing a chunk to a function known to drop it does not
+// discharge the obligation.
+//
+// //acic:allow-retain suppresses a finding (a deliberate long-lived hold),
+// with a justification comment.
+package arenacheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"acic/internal/analysis"
+	"acic/internal/analysis/ownership"
+)
+
+// Directive is the escape hatch recognized by this analyzer.
+const Directive = "allow-retain"
+
+// Analyzer is the arenacheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "arenacheck",
+	Doc: "require arena chunks and borrowed tram buffers to be released on every path\n\n" +
+		"locals bound from Arena.Get / Manager.Borrow must be Put/Released or\n" +
+		"handed on before every return, and never touched after the release;\n" +
+		"cross-function hand-offs are judged by exported sink summaries.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	// Publish this package's slice-parameter summaries for dependents even
+	// when it borrows nothing itself.
+	ownership.ExportSinkFacts(pass)
+	dirs := analysis.FileDirectives(pass)
+
+	for _, file := range pass.Files {
+		for _, d := range file.Decls {
+			decl, ok := d.(*ast.FuncDecl)
+			if !ok || decl.Body == nil || pass.InTestFile(decl.Pos()) {
+				continue
+			}
+			for _, b := range findBindings(pass, decl) {
+				c := &checker{pass: pass, dirs: dirs, fn: decl, bind: b}
+				c.checkLeak()
+				c.checkUseAfterRelease()
+			}
+		}
+	}
+	return nil
+}
+
+// binding is one obligation-creating statement: a local assigned from
+// Arena.Get or Manager.Borrow.
+type binding struct {
+	stmt ast.Stmt   // the assignment statement
+	v    *types.Var // the local holding the chunk
+	what string     // "arena chunk" or "tram buffer"
+}
+
+// findBindings collects the chunk/buffer bindings in decl.
+func findBindings(pass *analysis.Pass, decl *ast.FuncDecl) []binding {
+	var out []binding
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		as, ok := n.(*ast.AssignStmt)
+		if !ok || len(as.Lhs) != len(as.Rhs) {
+			return true
+		}
+		for i, rhs := range as.Rhs {
+			call, ok := ast.Unparen(rhs).(*ast.CallExpr)
+			if !ok {
+				continue
+			}
+			what, ok := borrowKind(pass, call)
+			if !ok {
+				continue
+			}
+			id, ok := ast.Unparen(as.Lhs[i]).(*ast.Ident)
+			if !ok || id.Name == "_" {
+				continue
+			}
+			v := objOf(pass, id)
+			if v == nil {
+				continue
+			}
+			out = append(out, binding{stmt: as, v: v, what: what})
+		}
+		return true
+	})
+	return out
+}
+
+func objOf(pass *analysis.Pass, id *ast.Ident) *types.Var {
+	if v, ok := pass.TypesInfo.Defs[id].(*types.Var); ok {
+		return v
+	}
+	v, _ := pass.TypesInfo.Uses[id].(*types.Var)
+	return v
+}
+
+// borrowKind classifies a call as an obligation source.
+func borrowKind(pass *analysis.Pass, call *ast.CallExpr) (string, bool) {
+	fn := ownership.CalleeFunc(pass, call)
+	if fn == nil || fn.Pkg() == nil {
+		return "", false
+	}
+	pkg := lastElem(fn.Pkg().Path())
+	recv := analysis.NamedRecvName(fn)
+	switch {
+	case pkg == "arena" && recv == "Arena" && fn.Name() == "Get":
+		return "arena chunk", true
+	case pkg == "tram" && recv == "Manager" && fn.Name() == "Borrow":
+		return "tram buffer", true
+	}
+	return "", false
+}
+
+func lastElem(path string) string {
+	for i := len(path) - 1; i >= 0; i-- {
+		if path[i] == '/' {
+			return path[i+1:]
+		}
+	}
+	return path
+}
+
+// checker verifies one binding's obligations.
+type checker struct {
+	pass *analysis.Pass
+	dirs *analysis.PkgDirectives
+	fn   *ast.FuncDecl
+	bind binding
+}
+
+func (c *checker) report(pos token.Pos, format string, args ...any) {
+	if c.dirs.Allowed(Directive, pos) || c.dirs.Allowed(Directive, c.fn.Pos()) {
+		return
+	}
+	c.pass.Reportf(pos, format, args...)
+}
+
+// matches reports whether e denotes the tracked chunk — the variable
+// itself, or an append(chunk, ...) expression (storing or returning the
+// grown slice moves ownership with it).
+func (c *checker) matches(e ast.Expr) bool {
+	e = ast.Unparen(e)
+	if id, ok := e.(*ast.Ident); ok {
+		return c.pass.TypesInfo.Uses[id] == c.bind.v
+	}
+	if call, ok := e.(*ast.CallExpr); ok && len(call.Args) > 0 {
+		if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
+			if _, isBuiltin := c.pass.TypesInfo.Uses[id].(*types.Builtin); isBuiltin && id.Name == "append" {
+				return c.matches(call.Args[0])
+			}
+		}
+	}
+	return false
+}
+
+// checkLeak runs the all-paths discharge check: from the statement after
+// the binding, through enclosing statement lists, stopping at a loop body
+// or function-literal boundary (an obligation created inside an iteration
+// must be discharged within it).
+func (c *checker) checkLeak() {
+	lists := enclosingLists(c.fn.Body, c.bind.stmt)
+	if lists == nil {
+		return
+	}
+	oc := &ownership.Checker{
+		Pass:    c.pass,
+		Matches: c.matches,
+		TransferDischarges: func(call *ast.CallExpr, i int) bool {
+			return ownership.TransferDischarges(c.pass, call, i)
+		},
+		OnLeak: func(pos token.Pos) {
+			c.report(pos,
+				"%s %q may not be released on this path: Put/Release it or hand it on, or annotate //acic:allow-retain",
+				c.bind.what, c.bind.v.Name())
+		},
+	}
+	// Walk each level's continuation; a level that discharges or returns on
+	// all paths resolves the obligation, otherwise it falls through to the
+	// enclosing level's continuation.
+	for i, lv := range lists {
+		rest := lv.stmts[lv.after:]
+		done, terminated := walkList(oc, rest)
+		if done || terminated {
+			return
+		}
+		if i == len(lists)-1 {
+			oc.OnLeak(lv.end)
+		}
+	}
+}
+
+// walkList runs the ownership checker over a statement list, returning the
+// final discharge state and whether every path terminates.
+func walkList(oc *ownership.Checker, list []ast.Stmt) (bool, bool) {
+	return oc.Walk(list, false)
+}
+
+// level is one enclosing statement list: the statements, the index after
+// the statement containing the binding, and the position reported when the
+// obligation falls off this list's end.
+type level struct {
+	stmts []ast.Stmt
+	after int
+	end   token.Pos
+}
+
+// enclosingLists returns the chain of statement lists from the one directly
+// containing bind outward, stopping after a loop body or at the function
+// body. Returns nil when bind sits inside a function literal (the closure
+// runs later; its obligation is checked against the literal's own body,
+// which path the inspection below also reaches).
+func enclosingLists(body *ast.BlockStmt, bind ast.Stmt) []level {
+	type frame struct {
+		stmts []ast.Stmt
+		end   token.Pos
+		loop  bool // this list is a loop body: do not propagate past it
+	}
+	var chain []frame
+	var out []level
+	found := false
+
+	var visitList func(stmts []ast.Stmt, end token.Pos, loop bool) bool
+	var visitStmt func(s ast.Stmt) bool
+
+	visitList = func(stmts []ast.Stmt, end token.Pos, loop bool) bool {
+		chain = append(chain, frame{stmts, end, loop})
+		defer func() { chain = chain[:len(chain)-1] }()
+		for i, s := range stmts {
+			if s == bind {
+				// Materialize the chain innermost-first with continuation
+				// indices.
+				idx := i
+				for j := len(chain) - 1; j >= 0; j-- {
+					f := chain[j]
+					after := idx + 1
+					out = append(out, level{stmts: f.stmts, after: after, end: f.end})
+					if f.loop || j == 0 {
+						break
+					}
+					// Find the enclosing statement's index in the parent.
+					parent := chain[j-1]
+					idx = indexSpanning(parent.stmts, f.stmts)
+					if idx < 0 {
+						break
+					}
+				}
+				found = true
+				return true
+			}
+			if visitStmt(s) {
+				return true
+			}
+		}
+		return false
+	}
+	visitStmt = func(s ast.Stmt) bool {
+		switch st := s.(type) {
+		case *ast.BlockStmt:
+			return visitList(st.List, st.Rbrace, false)
+		case *ast.IfStmt:
+			if visitList(st.Body.List, st.Body.Rbrace, false) {
+				return true
+			}
+			if st.Else != nil {
+				return visitStmt(st.Else)
+			}
+		case *ast.ForStmt:
+			return visitList(st.Body.List, st.Body.Rbrace, true)
+		case *ast.RangeStmt:
+			return visitList(st.Body.List, st.Body.Rbrace, true)
+		case *ast.SwitchStmt:
+			for _, cl := range st.Body.List {
+				cc := cl.(*ast.CaseClause)
+				if visitList(cc.Body, cc.End(), false) {
+					return true
+				}
+			}
+		case *ast.TypeSwitchStmt:
+			for _, cl := range st.Body.List {
+				cc := cl.(*ast.CaseClause)
+				if visitList(cc.Body, cc.End(), false) {
+					return true
+				}
+			}
+		case *ast.SelectStmt:
+			for _, cl := range st.Body.List {
+				cc := cl.(*ast.CommClause)
+				if visitList(cc.Body, cc.End(), false) {
+					return true
+				}
+			}
+		case *ast.LabeledStmt:
+			return visitStmt(st.Stmt)
+		}
+		return false
+	}
+	visitList(body.List, body.Rbrace, false)
+	if !found {
+		return nil
+	}
+	return out
+}
+
+// indexSpanning returns the index of the statement in stmts whose span
+// contains inner, or -1.
+func indexSpanning(stmts []ast.Stmt, inner []ast.Stmt) int {
+	if len(inner) == 0 {
+		return -1
+	}
+	for i, s := range stmts {
+		if s.Pos() <= inner[0].Pos() && inner[len(inner)-1].End() <= s.End() {
+			return i
+		}
+	}
+	return -1
+}
+
+// checkUseAfterRelease flags reads of the chunk variable after the
+// statement that released it, scanning each statement list linearly until
+// the variable is re-bound.
+func (c *checker) checkUseAfterRelease() {
+	var scan func(list []ast.Stmt)
+	scan = func(list []ast.Stmt) {
+		released := false
+		for _, s := range list {
+			if released {
+				if rebindsVar(c.pass, s, c.bind.v) {
+					released = false
+				} else if pos, ok := c.firstUse(s); ok {
+					c.report(pos,
+						"%s %q used after it was released: the freelist may already have handed it out again",
+						c.bind.what, c.bind.v.Name())
+					released = false // one report per release point
+				}
+			}
+			if !released && c.releasesStmt(s) {
+				released = true
+			}
+			// Descend into nested lists independently.
+			switch st := s.(type) {
+			case *ast.BlockStmt:
+				scan(st.List)
+			case *ast.IfStmt:
+				scan(st.Body.List)
+				if st.Else != nil {
+					scan([]ast.Stmt{st.Else})
+				}
+			case *ast.ForStmt:
+				scan(st.Body.List)
+			case *ast.RangeStmt:
+				scan(st.Body.List)
+			case *ast.SwitchStmt:
+				for _, cl := range st.Body.List {
+					scan(cl.(*ast.CaseClause).Body)
+				}
+			case *ast.TypeSwitchStmt:
+				for _, cl := range st.Body.List {
+					scan(cl.(*ast.CaseClause).Body)
+				}
+			case *ast.SelectStmt:
+				for _, cl := range st.Body.List {
+					scan(cl.(*ast.CommClause).Body)
+				}
+			case *ast.LabeledStmt:
+				scan([]ast.Stmt{st.Stmt})
+			}
+		}
+	}
+	scan(c.fn.Body.List)
+}
+
+// releasesStmt reports whether s (without descending into nested blocks)
+// contains a terminal release call taking the chunk.
+func (c *checker) releasesStmt(s ast.Stmt) bool {
+	es, ok := s.(*ast.ExprStmt)
+	if !ok {
+		return false
+	}
+	call, ok := ast.Unparen(es.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	fn := ownership.CalleeFunc(c.pass, call)
+	if fn == nil || !ownership.KnownSink(fn) {
+		return false
+	}
+	for _, arg := range call.Args {
+		if c.matches(arg) {
+			return true
+		}
+	}
+	return false
+}
+
+// firstUse returns the position of the first read of the chunk variable in
+// s, not descending into nested statement bodies (those are scanned in
+// their own right).
+func (c *checker) firstUse(s ast.Stmt) (token.Pos, bool) {
+	var pos token.Pos
+	found := false
+	ast.Inspect(s, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		switch n.(type) {
+		case *ast.BlockStmt, *ast.FuncLit:
+			return false
+		}
+		if id, ok := n.(*ast.Ident); ok && c.pass.TypesInfo.Uses[id] == c.bind.v {
+			pos, found = id.Pos(), true
+			return false
+		}
+		return true
+	})
+	return pos, found
+}
+
+// rebindsVar reports whether s assigns a fresh value to v.
+func rebindsVar(pass *analysis.Pass, s ast.Stmt, v *types.Var) bool {
+	as, ok := s.(*ast.AssignStmt)
+	if !ok {
+		return false
+	}
+	for _, lhs := range as.Lhs {
+		if id, ok := ast.Unparen(lhs).(*ast.Ident); ok {
+			if pass.TypesInfo.Defs[id] == v || pass.TypesInfo.Uses[id] == v {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,19 @@
+package arenacheck_test
+
+import (
+	"testing"
+
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/arenacheck"
+)
+
+func TestArenaCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", arenacheck.Analyzer, "arena", "tram", "arenacheck_a")
+}
+
+// TestArenaCheckCrossPackage exercises the interprocedural half: the sink
+// summaries exported while analyzing arenacheck_dep decide whether the
+// hand-offs in arenacheck_x discharge their obligations.
+func TestArenaCheckCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", arenacheck.Analyzer, "arena", "arenacheck_dep", "arenacheck_x")
+}

@@ -1,0 +1,27 @@
+// Package arenacheck_x is the dependent half of the cross-package
+// arenacheck fixture: whether handing a chunk to an imported helper
+// discharges the obligation is decided by the helper's exported sink
+// summary, not assumed.
+package arenacheck_x
+
+import (
+	"arena"
+	"arenacheck_dep"
+)
+
+type state struct {
+	ar *arena.Arena[arenacheck_dep.Update]
+}
+
+// viaInspect hands the chunk to a known non-sink: the obligation bounces
+// back and this function leaks it.
+func (st *state) viaInspect() {
+	chunk := st.ar.Get(0)
+	arenacheck_dep.Inspect(chunk)
+} // want "arena chunk \"chunk\" may not be released on this path"
+
+// viaRecycle hands the chunk to a known sink: ownership transfers, clean.
+func (st *state) viaRecycle() {
+	chunk := st.ar.Get(0)
+	arenacheck_dep.Recycle(st.ar, chunk)
+}

@@ -1,0 +1,168 @@
+// Package atomiccheck enforces atomic access discipline: a struct field
+// accessed through sync/atomic functions anywhere must never be read or
+// written plainly anywhere else.
+//
+// Mixing atomic.LoadUint64(&s.n) with a plain s.n read is a data race the
+// compiler accepts and the race detector only catches when the schedule
+// cooperates — the exact shape of both false-quiescence races fixed in the
+// conservation-counter work: a plain read of a counter that other PEs
+// advance atomically can observe a stale value and declare quiescence
+// early. (Fields of the typed atomic.Uint64 family are immune by
+// construction — their value is only reachable through methods — which is
+// why the runtime uses them; this analyzer closes the door on the
+// function-style mix creeping back in.)
+//
+// Every field that appears as &x.f in a sync/atomic call is recorded and
+// exported as a fact ("atomicfield:pkgpath.Type.field"), so a dependent
+// package touching the field plainly through the import graph is flagged
+// too (facts flow dependency -> dependent, so an atomic access in a
+// dependency guards plain accesses in dependents, not the reverse).
+// Composite-literal initialization is exempt: construction happens before
+// the value is shared. //acic:allow-plain-atomic suppresses a finding
+// (e.g. a read under the lock that orders all writers), with a
+// justification comment.
+package atomiccheck
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"acic/internal/analysis"
+)
+
+// Directive is the escape hatch recognized by this analyzer.
+const Directive = "allow-plain-atomic"
+
+// factPrefix keys the exported atomic-field facts; the value is the
+// position of one atomic access, for the diagnostic.
+const factPrefix = "atomicfield:"
+
+// Analyzer is the atomiccheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "atomiccheck",
+	Doc: "forbid plain access to fields that are accessed atomically elsewhere\n\n" +
+		"a field passed as &x.f to sync/atomic must only ever be touched\n" +
+		"through sync/atomic; a plain read/write races with the atomic\n" +
+		"side. fields are tracked across packages via exported facts.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	dirs := analysis.FileDirectives(pass)
+
+	// Pass 1: record every &x.f argument of a sync/atomic call — both as a
+	// fact for dependents and as a local skip-set so the very same
+	// expressions are not flagged in pass 2.
+	atomicUses := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				key, ok := fieldKeyOf(pass, sel)
+				if !ok {
+					continue
+				}
+				atomicUses[sel] = true
+				if !pass.HasFact(factPrefix + key) {
+					pass.ExportFact(factPrefix+key, pass.Fset.Position(sel.Pos()).String())
+				}
+			}
+			return true
+		})
+	}
+
+	// Pass 2: flag plain selector accesses to any atomically-accessed field
+	// (local or imported fact).
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.CompositeLit); ok {
+				// Construction precedes sharing; skip the literal's keys but
+				// still descend into its element values.
+				for _, elt := range lit.Elts {
+					v := elt
+					if kv, ok := elt.(*ast.KeyValueExpr); ok {
+						v = kv.Value
+					}
+					ast.Inspect(v, func(m ast.Node) bool {
+						if sel, ok := m.(*ast.SelectorExpr); ok {
+							checkSel(pass, dirs, atomicUses, sel)
+						}
+						return true
+					})
+				}
+				return false
+			}
+			if sel, ok := n.(*ast.SelectorExpr); ok {
+				checkSel(pass, dirs, atomicUses, sel)
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func checkSel(pass *analysis.Pass, dirs *analysis.PkgDirectives, atomicUses map[*ast.SelectorExpr]bool, sel *ast.SelectorExpr) {
+	if atomicUses[sel] || pass.InTestFile(sel.Pos()) {
+		return
+	}
+	key, ok := fieldKeyOf(pass, sel)
+	if !ok {
+		return
+	}
+	at, ok := pass.ImportFact(factPrefix + key)
+	if !ok {
+		return
+	}
+	if dirs.Allowed(Directive, sel.Pos()) {
+		return
+	}
+	pass.Reportf(sel.Pos(),
+		"plain access to %s, which is accessed atomically (e.g. at %s): use sync/atomic for every access, or annotate //acic:allow-plain-atomic",
+		key, at)
+}
+
+// isAtomicCall reports whether call invokes a sync/atomic package function.
+func isAtomicCall(pass *analysis.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil {
+		return false
+	}
+	path := fn.Pkg().Path()
+	// Accept a fixture package standing in for sync/atomic too.
+	return path == "sync/atomic" || strings.HasSuffix(path, "/syncatomic")
+}
+
+// fieldKeyOf resolves sel to "pkgpath.Type.field" when it selects a named
+// struct's field.
+func fieldKeyOf(pass *analysis.Pass, sel *ast.SelectorExpr) (string, bool) {
+	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
+	if !ok || !f.IsField() {
+		return "", false
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return "", false
+	}
+	named := analysis.NamedOf(tv.Type)
+	if named == nil {
+		return "", false
+	}
+	return analysis.FieldKey(named, f.Name()), true
+}

@@ -1,0 +1,18 @@
+package atomiccheck_test
+
+import (
+	"testing"
+
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/atomiccheck"
+)
+
+func TestAtomicCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccheck.Analyzer, "atomiccheck_a")
+}
+
+// TestAtomicCheckCrossPackage exercises the fact flow: the atomic access
+// lives in atomiccheck_dep, the plain access in atomiccheck_x.
+func TestAtomicCheckCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", atomiccheck.Analyzer, "atomiccheck_dep", "atomiccheck_x")
+}

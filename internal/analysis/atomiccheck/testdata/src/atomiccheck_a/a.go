@@ -1,0 +1,44 @@
+// Package atomiccheck_a is an atomiccheck fixture: fields touched through
+// sync/atomic anywhere must never be read or written plainly; untouched
+// fields, construction, and blessed sites are clean.
+package atomiccheck_a
+
+import "sync/atomic"
+
+type counters struct {
+	sent      uint64
+	delivered uint64
+	name      string
+}
+
+func (c *counters) inc() {
+	atomic.AddUint64(&c.sent, 1)
+}
+
+func (c *counters) read() uint64 {
+	return atomic.LoadUint64(&c.sent)
+}
+
+// plainRead races with inc: the exact false-quiescence shape.
+func (c *counters) plainRead() uint64 {
+	return c.sent // want "plain access to atomiccheck_a.counters.sent"
+}
+
+// plainWrite races the other way.
+func (c *counters) plainWrite() {
+	c.sent = 0 // want "plain access to atomiccheck_a.counters.sent"
+}
+
+// delivered is only ever accessed atomically: clean.
+func (c *counters) incDelivered() { atomic.AddUint64(&c.delivered, 1) }
+
+// name is never atomic: plain access is free.
+func (c *counters) nameRead() string { return c.name }
+
+// Construction precedes sharing: composite-literal init is exempt.
+func newCounters() *counters { return &counters{sent: 0, name: "pe"} }
+
+// blessedRead is ordered externally, exempted by directive.
+func (c *counters) blessedRead() uint64 {
+	return c.sent //acic:allow-plain-atomic fixture: read under the writers' lock
+}

@@ -1,0 +1,17 @@
+// Package atomiccheck_dep is the dependency half of the cross-package
+// atomiccheck fixture: its atomic accesses export the field facts the
+// dependent package is checked against.
+package atomiccheck_dep
+
+import "sync/atomic"
+
+// Shared mimics a conservation counter pair shared across PEs.
+type Shared struct {
+	Sent uint64
+}
+
+// Bump advances the counter atomically, marking Shared.Sent as an
+// atomic-only field for every dependent.
+func Bump(s *Shared) {
+	atomic.AddUint64(&s.Sent, 1)
+}

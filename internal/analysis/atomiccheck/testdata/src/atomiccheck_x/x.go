@@ -1,0 +1,21 @@
+// Package atomiccheck_x is the dependent half of the cross-package
+// atomiccheck fixture: the field is only known to be atomic through the
+// fact imported from atomiccheck_dep.
+package atomiccheck_x
+
+import (
+	"sync/atomic"
+
+	"atomiccheck_dep"
+)
+
+// quiescent reads the counter plainly — the race the imported fact exists
+// to catch.
+func quiescent(s *atomiccheck_dep.Shared) bool {
+	return s.Sent == 0 // want "plain access to atomiccheck_dep.Shared.Sent"
+}
+
+// quiescentAtomic reads it atomically: clean.
+func quiescentAtomic(s *atomiccheck_dep.Shared) bool {
+	return atomic.LoadUint64(&s.Sent) == 0
+}

@@ -1,0 +1,55 @@
+// Package dircheck polices the //acic: directive vocabulary itself: every
+// directive must use a known name, and every allow-* escape hatch must
+// carry a justification string.
+//
+// The directive parser already ignores bare allows (they suppress
+// nothing), but ignoring silently is its own hazard: a bare
+// //acic:allow-unreleased reads as if the site were blessed while the
+// analyzer still fires — or worse, lingers after the finding it once
+// excused is gone. And a typo like //acic:allow-unrelased would neither
+// suppress nor be reported anywhere. This analyzer closes both holes at
+// the source: unknown directive names and justification-free allows are
+// findings in their own right. There is deliberately no escape hatch for
+// this analyzer.
+package dircheck
+
+import (
+	"strings"
+
+	"acic/internal/analysis"
+)
+
+// Analyzer is the dircheck pass.
+var Analyzer = &analysis.Analyzer{
+	Name: "dircheck",
+	Doc: "require known //acic: directive names and justified allow-* uses\n\n" +
+		"unknown directives are typos that silently suppress nothing; bare\n" +
+		"allow-* directives are ignored by the parser and must either gain\n" +
+		"a justification or be deleted.",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				name, just, ok := analysis.ParseDirective(c.Text)
+				if !ok {
+					continue
+				}
+				if !analysis.KnownDirectives[name] {
+					pass.Reportf(c.Pos(),
+						"unknown acic directive %q: not in the lint vocabulary, so it suppresses nothing (see internal/analysis KnownDirectives)",
+						name)
+					continue
+				}
+				if strings.HasPrefix(name, "allow-") && just == "" {
+					pass.Reportf(c.Pos(),
+						"bare //acic:%s: allow directives are ignored without a justification string — say why the exemption is sound, or delete it",
+						name)
+				}
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,59 @@
+package dircheck_test
+
+import (
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"strings"
+	"testing"
+
+	"acic/internal/analysis"
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/dircheck"
+)
+
+func TestDirCheck(t *testing.T) {
+	analysistest.Run(t, "testdata", dircheck.Analyzer, "dircheck_a")
+}
+
+// TestDirCheckBareAllow covers the case a // want fixture cannot express: a
+// bare allow directive occupies its whole line, so any same-line want
+// marker would read as its justification and un-bare it.
+func TestDirCheckBareAllow(t *testing.T) {
+	const src = `package p
+
+//acic:allow-goroutine
+func spawn() {}
+`
+	fset := token.NewFileSet()
+	file, err := parser.ParseFile(fset, "p.go", src, parser.ParseComments)
+	if err != nil {
+		t.Fatal(err)
+	}
+	info := &types.Info{Defs: make(map[*ast.Ident]types.Object), Uses: make(map[*ast.Ident]types.Object)}
+	pkg, err := (&types.Config{}).Check("p", fset, []*ast.File{file}, info)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []analysis.Diagnostic
+	pass := &analysis.Pass{
+		Analyzer:  dircheck.Analyzer,
+		Fset:      fset,
+		Files:     []*ast.File{file},
+		Pkg:       pkg,
+		TypesInfo: info,
+		Report:    func(d analysis.Diagnostic) { got = append(got, d) },
+	}
+	if err := dircheck.Analyzer.Run(pass); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || !strings.Contains(got[0].Message, "bare //acic:allow-goroutine") {
+		t.Fatalf("want one bare-allow diagnostic, got %v", got)
+	}
+	// And the parser must not honor the bare allow as a suppression.
+	d := analysis.NewDirectives(fset, file)
+	if d.Allowed("allow-goroutine", file.Decls[0].Pos()) {
+		t.Fatal("bare allow-goroutine should not suppress anything")
+	}
+}

@@ -1,0 +1,25 @@
+// Package dircheck_a is a dircheck fixture: unknown directive names are
+// flagged; justified known directives and ordinary comments are clean.
+// (The bare-allow case cannot carry a same-line want marker — any trailing
+// text would become its justification — so it is covered by the
+// programmatic test in dircheck_test.go.)
+package dircheck_a
+
+// justified allow: clean.
+//
+//acic:allow-goroutine fixture: this worker is joined by the harness
+func spawn() {}
+
+// noalloc needs no justification (it adds an obligation, not an excuse).
+//
+//acic:noalloc
+func hot() {}
+
+//acic:allow-unrelased fixture: typo in the name // want "unknown acic directive \"allow-unrelased\""
+func typo() {}
+
+//acic:frobnicate fixture: not a directive at all // want "unknown acic directive \"frobnicate\""
+func unknown() {}
+
+// A plain comment mentioning acic is not a directive: clean.
+func plain() {}

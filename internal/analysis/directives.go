@@ -34,13 +34,31 @@ type dirSpan struct {
 // DirectivePrefix introduces every ACIC lint directive.
 const DirectivePrefix = "//acic:"
 
-// NewDirectives scans file for //acic: directives.
+// KnownDirectives is the complete directive vocabulary. dircheck rejects
+// anything outside it, so a typo cannot silently fail to suppress (or,
+// worse, silently suppress nothing while reading as if it did).
+var KnownDirectives = map[string]bool{
+	"allow-unreleased":   true, // releasecheck: tram batch deliberately kept
+	"allow-retain":       true, // arenacheck: arena chunk deliberately held
+	"allow-plain-atomic": true, // atomiccheck: plain access ordered externally
+	"allow-lock-order":   true, // lockorder: acquisition ordered by other means
+	"allow-locked-send":  true, // locksend: send under lock proven safe
+	"allow-goroutine":    true, // nogoroutine: runtime-owned thread
+	"allow-wallclock":    true, // detrand: sanctioned wall-clock boundary
+	"allow-unpadded":     true, // sharedpad: shard provably uncontended
+	"allow-alloc":        true, // noalloc: intentional allocation on one line
+	"noalloc":            true, // noalloc: function must not heap-allocate
+}
+
+// NewDirectives scans file for //acic: directives. Bare allow-* directives
+// (no justification text) are ignored — they do not suppress anything;
+// dircheck reports them so they cannot linger.
 func NewDirectives(fset *token.FileSet, file *ast.File) *Directives {
 	d := &Directives{fset: fset, lines: make(map[string]map[int]bool)}
 	for _, cg := range file.Comments {
 		for _, c := range cg.List {
-			name, ok := parseDirective(c.Text)
-			if !ok {
+			name, just, ok := ParseDirective(c.Text)
+			if !ok || (strings.HasPrefix(name, "allow-") && just == "") {
 				continue
 			}
 			if d.lines[name] == nil {
@@ -59,7 +77,7 @@ func NewDirectives(fset *token.FileSet, file *ast.File) *Directives {
 			continue
 		}
 		for _, c := range fn.Doc.List {
-			if name, ok := parseDirective(c.Text); ok {
+			if name, just, ok := ParseDirective(c.Text); ok && !(strings.HasPrefix(name, "allow-") && just == "") {
 				d.spans = append(d.spans, dirSpan{name: name, from: fn.Pos(), to: fn.Body.End()})
 			}
 		}
@@ -67,18 +85,23 @@ func NewDirectives(fset *token.FileSet, file *ast.File) *Directives {
 	return d
 }
 
-func parseDirective(text string) (name string, ok bool) {
+// ParseDirective splits an //acic:<name> comment into the directive name
+// and its free-form justification text (trimmed; empty when absent). ok is
+// false for comments that are not acic directives at all.
+func ParseDirective(text string) (name, justification string, ok bool) {
 	if !strings.HasPrefix(text, DirectivePrefix) {
-		return "", false
+		return "", "", false
 	}
 	rest := text[len(DirectivePrefix):]
 	if i := strings.IndexAny(rest, " \t"); i >= 0 {
-		rest = rest[:i]
+		name, justification = rest[:i], strings.TrimSpace(rest[i+1:])
+	} else {
+		name = rest
 	}
-	if rest == "" {
-		return "", false
+	if name == "" {
+		return "", "", false
 	}
-	return rest, true
+	return name, justification, true
 }
 
 // Allowed reports whether directive name covers pos.

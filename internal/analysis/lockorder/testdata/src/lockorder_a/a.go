@@ -1,0 +1,64 @@
+// Package lockorder_a is a lockorder fixture: consistent nesting is clean,
+// opposite nesting closes a cycle, self-nesting of one class is a cycle,
+// and a blessed site is exempt.
+package lockorder_a
+
+import "sync"
+
+type state struct {
+	muA sync.Mutex
+	muB sync.Mutex
+	muC sync.Mutex
+}
+
+// lockAB establishes the order muA -> muB — reported too once lockBA
+// closes the cycle, at the acquisition completing it from this side.
+func (s *state) lockAB() {
+	s.muA.Lock()
+	s.muB.Lock() // want "lock-order cycle"
+	s.muB.Unlock()
+	s.muA.Unlock()
+}
+
+// lockBA closes the cycle against lockAB; both halves are reported, each
+// at the acquisition that completes the cycle from its side.
+func (s *state) lockBA() {
+	s.muB.Lock()
+	s.muA.Lock() // want "lock-order cycle"
+	s.muA.Unlock()
+	s.muB.Unlock()
+}
+
+// pairwise locks two instances of one class with no proven index order.
+func pairwise(a, b *state) {
+	a.muC.Lock()
+	b.muC.Lock() // want "lock-order cycle"
+	b.muC.Unlock()
+	a.muC.Unlock()
+}
+
+// sequential re-acquisition after release is not nesting: clean.
+func (s *state) sequential() {
+	s.muA.Lock()
+	s.muA.Unlock()
+	s.muB.Lock()
+	s.muB.Unlock()
+}
+
+// localOnly locks a function-local mutex under muA: locals have no class,
+// no edge, clean.
+func (s *state) localOnly() {
+	var mu sync.Mutex
+	s.muA.Lock()
+	mu.Lock()
+	mu.Unlock()
+	s.muA.Unlock()
+}
+
+// blessed is an index-ordered double acquisition, exempted by directive.
+func blessed(a, b *state) {
+	a.muB.Lock()
+	b.muB.Lock() //acic:allow-lock-order fixture: callers pass a, b in address order
+	b.muB.Unlock()
+	a.muB.Unlock()
+}

@@ -1,0 +1,17 @@
+// Package lockorder_dep is the dependency half of the cross-package
+// lockorder fixture: Bump's acquisition is exported in its locks fact.
+package lockorder_dep
+
+import "sync"
+
+type Shard struct {
+	Mu sync.Mutex
+	n  int
+}
+
+// Bump acquires Shard.Mu.
+func Bump(s *Shard) {
+	s.Mu.Lock()
+	s.n++
+	s.Mu.Unlock()
+}

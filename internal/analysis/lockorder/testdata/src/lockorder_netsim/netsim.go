@@ -1,0 +1,18 @@
+// Package lockorder_netsim is a fixture standing in for the netsim fabric:
+// the package-path suffix and the lane type name are what the forbidden
+// mailbox->lane pairing matches on.
+package lockorder_netsim
+
+import "sync"
+
+type Lane struct {
+	Mu sync.Mutex
+	q  []int
+}
+
+// Push acquires the lane lock, exporting it in Push's locks fact.
+func Push(l *Lane, v int) {
+	l.Mu.Lock()
+	l.q = append(l.q, v)
+	l.Mu.Unlock()
+}

@@ -1,0 +1,29 @@
+// Package lockorder_runtime is a fixture standing in for the runtime
+// mailbox: entering the fabric (which takes lane locks) while holding a
+// mailbox lock is the forbidden pairing, caught through the imported locks
+// fact of the fabric call.
+package lockorder_runtime
+
+import (
+	"sync"
+
+	"lockorder_netsim"
+)
+
+type Mailbox struct {
+	Mu sync.Mutex
+}
+
+// drainUnderLock enters the fabric while holding the mailbox lock.
+func drainUnderLock(mb *Mailbox, ln *lockorder_netsim.Lane) {
+	mb.Mu.Lock()
+	lockorder_netsim.Push(ln, 1) // want "lane lock .* acquired while holding runtime mailbox lock"
+	mb.Mu.Unlock()
+}
+
+// drainAfterUnlock releases the mailbox lock first: clean.
+func drainAfterUnlock(mb *Mailbox, ln *lockorder_netsim.Lane) {
+	mb.Mu.Lock()
+	mb.Mu.Unlock()
+	lockorder_netsim.Push(ln, 1)
+}

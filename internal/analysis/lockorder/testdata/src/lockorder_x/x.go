@@ -1,0 +1,40 @@
+// Package lockorder_x is the dependent half of the cross-package lockorder
+// fixture: one half of the cycle goes through an imported function's locks
+// fact, the other is a direct acquisition.
+package lockorder_x
+
+import (
+	"sync"
+
+	"lockorder_dep"
+)
+
+type table struct {
+	mu sync.Mutex
+	sh *lockorder_dep.Shard
+}
+
+// bumpUnderLock calls into the dependency while holding mu: the edge
+// table.mu -> Shard.Mu comes from Bump's imported locks fact, and is
+// reported here once reverse closes the cycle.
+func (t *table) bumpUnderLock() {
+	t.mu.Lock()
+	lockorder_dep.Bump(t.sh) // want "lock-order cycle"
+	t.mu.Unlock()
+}
+
+// reverse nests the other way, closing the cycle across the package
+// boundary.
+func (t *table) reverse() {
+	t.sh.Mu.Lock()
+	t.mu.Lock() // want "lock-order cycle"
+	t.mu.Unlock()
+	t.sh.Mu.Unlock()
+}
+
+// bumpAfterUnlock releases before calling into the dependency: clean.
+func (t *table) bumpAfterUnlock() {
+	t.mu.Lock()
+	t.mu.Unlock()
+	lockorder_dep.Bump(t.sh)
+}

@@ -14,18 +14,26 @@
 //
 //  1. Carrier fields. A struct field assigned from a tram Batch's Items
 //     (e.g. batchMsg{items: batch.Items}) marks that field as carrying a
-//     pooled array across the runtime.
+//     pooled array across the runtime. Carrier fields are exported as facts
+//     ("carrier:pkgpath.Type.field"), so a dependent package reading the
+//     field through the import graph inherits the obligation.
 //  2. Batch values. Reading a carrier field produces a batch value; passing
 //     one to a same-package function marks the receiving parameter as a
 //     batch value too (iterated to a fixed point), which is how the
 //     conventional Deliver -> receiveBatch(pe, m.items) hand-off is
 //     followed.
 //  3. Obligation check. For each function holding a batch value, every
-//     control-flow path to a return must discharge the obligation: call
-//     Manager.Release with the value, hand the value wholesale to another
-//     function (ownership transfer — e.g. re-sending it), store it, or
-//     return it. A path that can fall off the end or return without any of
-//     those is reported.
+//     control-flow path to a return must discharge the obligation (the
+//     shared ownership.Checker): call Manager.Release with the value, hand
+//     the value wholesale to another function (ownership transfer — e.g.
+//     re-sending it), store it, or return it. A path that can fall off the
+//     end or return without any of those is reported.
+//
+// Cross-package hand-offs consult the ownership sink summaries: passing a
+// batch to an imported function whose parameter is known (from its own
+// package's pass) to be dropped on some path does NOT discharge the
+// obligation, so the leak is reported at the caller — the interprocedural
+// upgrade over the original transfer-always-discharges rule.
 //
 // Per-element reads (ranging, indexing, len/cap) do not discharge: they are
 // precisely the "unpack" whose completion must be followed by Release.
@@ -40,10 +48,14 @@ import (
 	"strings"
 
 	"acic/internal/analysis"
+	"acic/internal/analysis/ownership"
 )
 
 // Directive is the escape hatch recognized by this analyzer.
 const Directive = "allow-unreleased"
+
+// carrierPrefix keys the exported carrier-field facts.
+const carrierPrefix = "carrier:"
 
 // Analyzer is the releasecheck pass.
 var Analyzer = &analysis.Analyzer{
@@ -51,13 +63,21 @@ var Analyzer = &analysis.Analyzer{
 	Doc: "require tram batches to be released on every path\n\n" +
 		"a receiver that unpacks a tram batch must return its backing array\n" +
 		"to the pool (Manager.Release) or hand it on; leaks silently disable\n" +
-		"buffer recycling.",
+		"buffer recycling. follows batches across package boundaries via\n" +
+		"carrier-field and sink-parameter facts.",
 	Run: run,
 }
 
 func run(pass *analysis.Pass) error {
+	// Summarize this package's slice parameters for dependents (and for our
+	// own cross-package transfer rule) regardless of whether any batches
+	// are handled locally.
+	ownership.ExportSinkFacts(pass)
+
 	carriers := findCarrierFields(pass)
-	if len(carriers) == 0 {
+	exportCarrierFacts(pass, carriers)
+	imported := pass.Facts.WithPrefix(pass.Analyzer.Name, carrierPrefix)
+	if len(carriers) == 0 && len(imported) == 0 {
 		return nil
 	}
 	decls := funcDecls(pass)
@@ -67,11 +87,11 @@ func run(pass *analysis.Pass) error {
 	for fn, idxs := range params {
 		decl := decls[fn]
 		for _, idx := range idxs {
-			obj := paramObj(pass, decl, idx)
+			obj := ownership.ParamObj(pass, decl, idx)
 			if obj == nil {
 				continue
 			}
-			c := &checker{pass: pass, dirs: dirs, fn: decl, v: obj}
+			c := &checker{pass: pass, dirs: dirs, decls: decls, fn: decl, v: obj}
 			c.check()
 		}
 	}
@@ -84,7 +104,7 @@ func run(pass *analysis.Pass) error {
 				continue
 			}
 			for _, sel := range inPlaceConsumed(pass, decl, carriers) {
-				c := &checker{pass: pass, dirs: dirs, fn: decl, sel: sel}
+				c := &checker{pass: pass, dirs: dirs, decls: decls, fn: decl, sel: sel}
 				c.check()
 			}
 		}
@@ -119,17 +139,23 @@ func isBatchItems(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
 }
 
 // findCarrierFields returns the struct fields assigned from a Batch.Items
-// expression anywhere in the package.
-func findCarrierFields(pass *analysis.Pass) map[*types.Var]bool {
-	carriers := make(map[*types.Var]bool)
+// expression anywhere in the package, mapped to the named type carrying
+// them (nil when the literal's type is anonymous).
+func findCarrierFields(pass *analysis.Pass) map[*types.Var]*types.Named {
+	carriers := make(map[*types.Var]*types.Named)
 	for _, file := range pass.Files {
 		ast.Inspect(file, func(n ast.Node) bool {
 			switch node := n.(type) {
 			case *ast.CompositeLit:
-				st, ok := structOf(pass, node)
+				tv, ok := pass.TypesInfo.Types[node]
 				if !ok {
 					return true
 				}
+				st, ok := tv.Type.Underlying().(*types.Struct)
+				if !ok {
+					return true
+				}
+				named := analysis.NamedOf(tv.Type)
 				for i, elt := range node.Elts {
 					var value ast.Expr
 					var field *types.Var
@@ -148,7 +174,7 @@ func findCarrierFields(pass *analysis.Pass) map[*types.Var]bool {
 						continue
 					}
 					if sel, ok := ast.Unparen(value).(*ast.SelectorExpr); ok && isBatchItems(pass, sel) {
-						carriers[field] = true
+						carriers[field] = named
 					}
 				}
 			case *ast.AssignStmt:
@@ -165,7 +191,11 @@ func findCarrierFields(pass *analysis.Pass) map[*types.Var]bool {
 						continue
 					}
 					if f, ok := pass.TypesInfo.Uses[lsel.Sel].(*types.Var); ok && f.IsField() {
-						carriers[f] = true
+						var named *types.Named
+						if tv, ok := pass.TypesInfo.Types[lsel.X]; ok {
+							named = analysis.NamedOf(tv.Type)
+						}
+						carriers[f] = named
 					}
 				}
 			}
@@ -175,13 +205,15 @@ func findCarrierFields(pass *analysis.Pass) map[*types.Var]bool {
 	return carriers
 }
 
-func structOf(pass *analysis.Pass, lit *ast.CompositeLit) (*types.Struct, bool) {
-	tv, ok := pass.TypesInfo.Types[lit]
-	if !ok {
-		return nil, false
+// exportCarrierFacts publishes this package's carrier fields so dependent
+// packages reading them through the import graph inherit the obligation.
+func exportCarrierFacts(pass *analysis.Pass, carriers map[*types.Var]*types.Named) {
+	for f, named := range carriers {
+		if named == nil {
+			continue
+		}
+		pass.ExportFact(carrierPrefix+analysis.FieldKey(named, f.Name()), "")
 	}
-	st, ok := tv.Type.Underlying().(*types.Struct)
-	return st, ok
 }
 
 // funcDecls indexes this package's function declarations by their object.
@@ -199,20 +231,35 @@ func funcDecls(pass *analysis.Pass) map[*types.Func]*ast.FuncDecl {
 	return decls
 }
 
-// isCarrierRead reports whether e reads a carrier field.
-func isCarrierRead(pass *analysis.Pass, carriers map[*types.Var]bool, e ast.Expr) bool {
+// isCarrierRead reports whether e reads a carrier field — one found in this
+// package or one imported as a fact from a dependency.
+func isCarrierRead(pass *analysis.Pass, carriers map[*types.Var]*types.Named, e ast.Expr) bool {
 	sel, ok := ast.Unparen(e).(*ast.SelectorExpr)
 	if !ok {
 		return false
 	}
 	f, ok := pass.TypesInfo.Uses[sel.Sel].(*types.Var)
-	return ok && carriers[f]
+	if !ok || !f.IsField() {
+		return false
+	}
+	if _, local := carriers[f]; local {
+		return true
+	}
+	tv, ok := pass.TypesInfo.Types[sel.X]
+	if !ok {
+		return false
+	}
+	named := analysis.NamedOf(tv.Type)
+	if named == nil {
+		return false
+	}
+	return pass.HasFact(carrierPrefix + analysis.FieldKey(named, f.Name()))
 }
 
 // markBatchParams finds, to a fixed point, parameters of same-package
 // functions that receive a batch value: either a carrier-field read or an
 // already-marked parameter passed wholesale.
-func markBatchParams(pass *analysis.Pass, carriers map[*types.Var]bool, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]int {
+func markBatchParams(pass *analysis.Pass, carriers map[*types.Var]*types.Named, decls map[*types.Func]*ast.FuncDecl) map[*types.Func][]int {
 	marked := make(map[*types.Func]map[int]bool)
 	markedVars := make(map[*types.Var]bool)
 	for {
@@ -223,7 +270,7 @@ func markBatchParams(pass *analysis.Pass, carriers map[*types.Var]bool, decls ma
 				if !ok {
 					return true
 				}
-				fn := calleeFunc(pass, call)
+				fn := ownership.CalleeFunc(pass, call)
 				if fn == nil {
 					return true
 				}
@@ -249,7 +296,7 @@ func markBatchParams(pass *analysis.Pass, carriers map[*types.Var]bool, decls ma
 					if !marked[fn][i] {
 						marked[fn][i] = true
 						changed = true
-						if obj := paramObj(pass, decl, i); obj != nil {
+						if obj := ownership.ParamObj(pass, decl, i); obj != nil {
 							markedVars[obj] = true
 						}
 					}
@@ -270,30 +317,9 @@ func markBatchParams(pass *analysis.Pass, carriers map[*types.Var]bool, decls ma
 	return out
 }
 
-// paramObj resolves parameter index i of decl to its variable, skipping
-// variadic and out-of-range indices.
-func paramObj(pass *analysis.Pass, decl *ast.FuncDecl, i int) *types.Var {
-	n := 0
-	for _, field := range decl.Type.Params.List {
-		names := field.Names
-		if len(names) == 0 {
-			n++ // unnamed parameter occupies a slot
-			continue
-		}
-		for _, name := range names {
-			if n == i {
-				v, _ := pass.TypesInfo.Defs[name].(*types.Var)
-				return v
-			}
-			n++
-		}
-	}
-	return nil
-}
-
 // inPlaceConsumed returns the carrier-field reads that decl unpacks
 // directly (range or index base) without going through a parameter.
-func inPlaceConsumed(pass *analysis.Pass, decl *ast.FuncDecl, carriers map[*types.Var]bool) []*ast.SelectorExpr {
+func inPlaceConsumed(pass *analysis.Pass, decl *ast.FuncDecl, carriers map[*types.Var]*types.Named) []*ast.SelectorExpr {
 	seen := make(map[string]bool)
 	var out []*ast.SelectorExpr
 	add := func(e ast.Expr) {
@@ -320,14 +346,17 @@ func inPlaceConsumed(pass *analysis.Pass, decl *ast.FuncDecl, carriers map[*type
 }
 
 // checker verifies one obligation: batch value v (a parameter) or sel (a
-// carrier-field selector) must be discharged on every path through fn.
+// carrier-field selector) must be discharged on every path through fn. The
+// path walking itself is the shared ownership.Checker; this wrapper owns
+// the batch-specific match rule, scope narrowing, and reporting.
 type checker struct {
-	pass *analysis.Pass
-	dirs *analysis.PkgDirectives
-	fn   *ast.FuncDecl
-	v    *types.Var        // parameter form, or
-	sel  *ast.SelectorExpr // selector form (canonical spelling)
-	root *types.Var        // selector form: the base variable of sel
+	pass  *analysis.Pass
+	dirs  *analysis.PkgDirectives
+	decls map[*types.Func]*ast.FuncDecl
+	fn    *ast.FuncDecl
+	v     *types.Var        // parameter form, or
+	sel   *ast.SelectorExpr // selector form (canonical spelling)
+	root  *types.Var        // selector form: the base variable of sel
 }
 
 func (c *checker) name() string {
@@ -352,10 +381,28 @@ func (c *checker) check() {
 			}
 		}
 	}
-	done, terminated := c.walk(list, false)
-	if !done && !terminated {
-		c.report(end)
+	oc := &ownership.Checker{
+		Pass:               c.pass,
+		Matches:            c.matches,
+		TransferDischarges: c.transferDischarges,
+		OnLeak:             c.report,
 	}
+	oc.Check(list, end)
+}
+
+// transferDischarges decides whether handing the batch to a call moves the
+// obligation on. Same-package callees always accept it — their parameter is
+// marked by markBatchParams and checked in its own right, so the leak (if
+// any) is reported at the precise spot inside the callee. Cross-package
+// callees are judged by their exported sink summaries: a known non-sink
+// parameter bounces the obligation back to this caller.
+func (c *checker) transferDischarges(call *ast.CallExpr, i int) bool {
+	if fn := ownership.CalleeFunc(c.pass, call); fn != nil {
+		if decl, ok := c.decls[fn]; ok && decl.Body != nil {
+			return true
+		}
+	}
+	return ownership.TransferDischarges(c.pass, call, i)
 }
 
 // rootVar unwraps a selector chain to its base identifier's variable.
@@ -434,238 +481,4 @@ func (c *checker) matches(e ast.Expr) bool {
 		return rootVar(c.pass, sel) == c.root
 	}
 	return true
-}
-
-// dischargesExpr reports whether expression e contains a discharge of the
-// obligation: a Release call, an ownership-transferring call argument, a
-// store into a composite literal, or a send.
-func (c *checker) dischargesExpr(e ast.Expr) bool {
-	found := false
-	ast.Inspect(e, func(n ast.Node) bool {
-		if found {
-			return false
-		}
-		switch node := n.(type) {
-		case *ast.FuncLit:
-			return false // closures run later; not a discharge here
-		case *ast.CallExpr:
-			if c.callDischarges(node) {
-				found = true
-				return false
-			}
-		case *ast.CompositeLit:
-			for _, elt := range node.Elts {
-				v := elt
-				if kv, ok := elt.(*ast.KeyValueExpr); ok {
-					v = kv.Value
-				}
-				if c.matches(v) {
-					found = true // stored: ownership moved into the literal
-					return false
-				}
-			}
-		}
-		return true
-	})
-	return found
-}
-
-// callDischarges reports whether one call discharges the obligation.
-func (c *checker) callDischarges(call *ast.CallExpr) bool {
-	// Builtins (len, cap, append, ...) only observe the value or copy its
-	// elements; they do not take ownership.
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok {
-		if _, ok := c.pass.TypesInfo.Uses[id].(*types.Builtin); ok {
-			return false
-		}
-	}
-	for _, arg := range call.Args {
-		if c.matches(arg) {
-			return true // Release, forwarding, or any wholesale hand-off
-		}
-	}
-	return false
-}
-
-// walk processes a statement list. done is whether the obligation is
-// already discharged on entry. It returns the discharge state at the end of
-// the list and whether every path through the list terminates (returns).
-func (c *checker) walk(list []ast.Stmt, done bool) (bool, bool) {
-	for _, s := range list {
-		var term bool
-		done, term = c.stmt(s, done)
-		if term {
-			return done, true
-		}
-	}
-	return done, false
-}
-
-func (c *checker) stmt(s ast.Stmt, done bool) (bool, bool) {
-	switch st := s.(type) {
-	case *ast.ReturnStmt:
-		for _, r := range st.Results {
-			if c.matches(r) || c.dischargesExpr(r) {
-				done = true
-			}
-		}
-		if !done {
-			c.report(st.Pos())
-		}
-		return true, true
-	case *ast.DeferStmt:
-		// defer tm.Release(v) (or a closure doing so) covers every return
-		// after this point.
-		if c.callDischarges(st.Call) {
-			return true, false
-		}
-		if lit, ok := st.Call.Fun.(*ast.FuncLit); ok {
-			litDone, _ := c.walk(lit.Body.List, false)
-			if litDone {
-				return true, false
-			}
-		}
-		return done, false
-	case *ast.BlockStmt:
-		return c.walk(st.List, done)
-	case *ast.IfStmt:
-		if st.Init != nil {
-			done, _ = c.stmt(st.Init, done)
-		}
-		if c.dischargesExpr(st.Cond) {
-			done = true
-		}
-		tDone, tTerm := c.walk(st.Body.List, done)
-		eDone, eTerm := done, false
-		if st.Else != nil {
-			eDone, eTerm = c.stmt(st.Else, done)
-		}
-		switch {
-		case tTerm && eTerm:
-			return done, true
-		case tTerm:
-			return eDone, false
-		case eTerm:
-			return tDone, false
-		default:
-			return tDone && eDone, false
-		}
-	case *ast.ForStmt, *ast.RangeStmt:
-		var body *ast.BlockStmt
-		if f, ok := st.(*ast.ForStmt); ok {
-			body = f.Body
-		} else {
-			body = st.(*ast.RangeStmt).Body
-		}
-		// The body may execute zero times: discharges inside do not
-		// propagate past the loop, but missing discharges at returns inside
-		// are still checked.
-		c.walk(body.List, done)
-		return done, false
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt:
-		var body *ast.BlockStmt
-		if sw, ok := st.(*ast.SwitchStmt); ok {
-			body = sw.Body
-		} else {
-			body = st.(*ast.TypeSwitchStmt).Body
-		}
-		allDone, allTerm, hasDefault := true, true, false
-		for _, cl := range body.List {
-			cc := cl.(*ast.CaseClause)
-			if cc.List == nil {
-				hasDefault = true
-			}
-			d, t := c.walk(cc.Body, done)
-			if !t {
-				allTerm = false
-				allDone = allDone && d
-			}
-		}
-		if !hasDefault {
-			allTerm = false
-			allDone = allDone && done
-		}
-		if allTerm && hasDefault {
-			return done, true
-		}
-		return allDone, false
-	case *ast.SelectStmt:
-		allDone, allTerm := true, true
-		for _, cl := range st.Body.List {
-			cc := cl.(*ast.CommClause)
-			d, t := c.walk(cc.Body, done)
-			if !t {
-				allTerm = false
-				allDone = allDone && d
-			}
-		}
-		if allTerm {
-			return done, true
-		}
-		return allDone, false
-	case *ast.LabeledStmt:
-		return c.stmt(st.Stmt, done)
-	case *ast.BranchStmt:
-		// break/continue/goto leave this statement list; treat the path as
-		// ended here (any later return is checked at its own level).
-		return done, true
-	case *ast.ExprStmt:
-		if c.dischargesExpr(st.X) {
-			return true, false
-		}
-		return done, false
-	case *ast.AssignStmt:
-		for i, r := range st.Rhs {
-			if c.dischargesExpr(r) {
-				return true, false
-			}
-			if c.matches(r) && !(i < len(st.Lhs) && isBlank(st.Lhs[i])) {
-				return true, false // stored or re-bound: ownership moved
-			}
-		}
-		return done, false
-	case *ast.SendStmt:
-		if c.matches(st.Value) || c.dischargesExpr(st.Value) {
-			return true, false
-		}
-		return done, false
-	case *ast.GoStmt:
-		if c.callDischarges(st.Call) {
-			return true, false
-		}
-		return done, false
-	case *ast.DeclStmt, *ast.IncDecStmt, *ast.EmptyStmt:
-		found := false
-		ast.Inspect(s, func(n ast.Node) bool {
-			if e, ok := n.(ast.Expr); ok && c.dischargesExpr(e) {
-				found = true
-				return false
-			}
-			return true
-		})
-		if found {
-			return true, false
-		}
-		return done, false
-	}
-	return done, false
-}
-
-func isBlank(e ast.Expr) bool {
-	id, ok := ast.Unparen(e).(*ast.Ident)
-	return ok && id.Name == "_"
-}
-
-func calleeFunc(pass *analysis.Pass, call *ast.CallExpr) *types.Func {
-	var id *ast.Ident
-	switch f := call.Fun.(type) {
-	case *ast.Ident:
-		id = f
-	case *ast.SelectorExpr:
-		id = f.Sel
-	default:
-		return nil
-	}
-	fn, _ := pass.TypesInfo.Uses[id].(*types.Func)
-	return fn
 }

@@ -10,3 +10,10 @@ import (
 func TestReleaseCheck(t *testing.T) {
 	analysistest.Run(t, "testdata", releasecheck.Analyzer, "tram", "releasecheck_a")
 }
+
+// TestReleaseCheckCrossPackage exercises the interprocedural half: carrier
+// facts exported by releasecheck_dep and sink summaries consumed by
+// releasecheck_x.
+func TestReleaseCheckCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", releasecheck.Analyzer, "tram", "releasecheck_dep", "releasecheck_x")
+}

@@ -1,0 +1,36 @@
+// Package releasecheck_dep is the dependency half of the cross-package
+// releasecheck fixture: it defines an exported carrier struct (exported as
+// a "carrier:" fact) plus one sink and one non-sink helper whose ownership
+// summaries the dependent package consumes.
+package releasecheck_dep
+
+import "tram"
+
+type Update struct{ V int }
+
+// Msg is the exported carrier: Items is assigned from Batch.Items in Pack,
+// which marks it and exports the fact for dependents.
+type Msg struct{ Items []Update }
+
+type sender interface {
+	Send(dst int, msg any)
+}
+
+// Pack marks Msg.Items as a carrier field.
+func Pack(pe sender, b *tram.Batch[Update]) {
+	pe.Send(b.DestPE, Msg{Items: b.Items})
+}
+
+// Discard iterates without releasing: summarized as a non-sink, so callers
+// handing it a batch keep the release obligation.
+func Discard(items []Update) {
+	for range items {
+	}
+}
+
+var stash []Update
+
+// Stash retains the slice in package state: ownership moves, a sink.
+func Stash(items []Update) {
+	stash = items
+}

@@ -1,0 +1,60 @@
+// Package releasecheck_x is the dependent half of the cross-package
+// releasecheck fixture: it never touches tram.Batch directly, yet inherits
+// obligations through releasecheck_dep's exported carrier fact, and the
+// sink summaries decide whether handing a batch to an imported helper
+// discharges them.
+package releasecheck_x
+
+import (
+	"releasecheck_dep"
+	"tram"
+)
+
+type state struct {
+	tm *tram.Manager[releasecheck_dep.Update]
+}
+
+func (st *state) deliverDiscard(msg any) {
+	switch m := msg.(type) {
+	case releasecheck_dep.Msg:
+		st.viaDiscard(m.Items)
+	}
+}
+
+// viaDiscard hands the batch to a known non-sink: the obligation bounces
+// back to this caller, which then leaks it.
+func (st *state) viaDiscard(items []releasecheck_dep.Update) {
+	releasecheck_dep.Discard(items)
+} // want "tram batch \"items\" may not be released on this path"
+
+func (st *state) deliverStash(msg any) {
+	switch m := msg.(type) {
+	case releasecheck_dep.Msg:
+		st.viaStash(m.Items)
+	}
+}
+
+// viaStash hands the batch to a known sink: ownership transfers, clean.
+func (st *state) viaStash(items []releasecheck_dep.Update) {
+	releasecheck_dep.Stash(items)
+}
+
+// deliverInline unpacks the imported carrier field in place and leaks it;
+// the carrier is only known here through the imported fact.
+func (st *state) deliverInline(msg any) {
+	switch m := msg.(type) {
+	case releasecheck_dep.Msg:
+		for range m.Items {
+		} // want "tram batch \"m.Items\" may not be released on this path"
+	}
+}
+
+// deliverRelease unpacks in place and releases: clean.
+func (st *state) deliverRelease(msg any) {
+	switch m := msg.(type) {
+	case releasecheck_dep.Msg:
+		for range m.Items {
+		}
+		st.tm.Release(m.Items)
+	}
+}

@@ -1,0 +1,18 @@
+package sharedpad_test
+
+import (
+	"testing"
+
+	"acic/internal/analysis/analysistest"
+	"acic/internal/analysis/sharedpad"
+)
+
+func TestSharedPad(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedpad.Analyzer, "sharedpad_a")
+}
+
+// TestSharedPadCrossPackage shards a type defined in a dependency; the
+// finding lands at the sharding site.
+func TestSharedPadCrossPackage(t *testing.T) {
+	analysistest.Run(t, "testdata", sharedpad.Analyzer, "sharedpad_dep", "sharedpad_x")
+}

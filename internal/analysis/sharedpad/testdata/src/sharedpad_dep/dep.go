@@ -1,0 +1,18 @@
+// Package sharedpad_dep defines contended shard types for the cross-package
+// sharedpad fixture; defining them (without sharding them) is clean.
+package sharedpad_dep
+
+import "sync"
+
+// Shard is contended and unpadded — legal until someone shards it.
+type Shard struct {
+	Mu sync.Mutex
+	N  int
+}
+
+// Padded is the fixed variant.
+type Padded struct {
+	Mu sync.Mutex
+	N  int
+	_  [64]byte
+}

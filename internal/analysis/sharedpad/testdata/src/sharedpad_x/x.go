@@ -1,0 +1,11 @@
+// Package sharedpad_x shards types imported from sharedpad_dep: the check
+// is type-driven, so the defect is reported at the use site even though
+// the type lives in another package.
+package sharedpad_x
+
+import "sharedpad_dep"
+
+type perPE struct {
+	shards []sharedpad_dep.Shard // want "sharded element type Shard has mutex/atomic fields but no cache-line pad"
+	padded []sharedpad_dep.Padded
+}

@@ -92,6 +92,8 @@ const refillBatch = 8
 // the goroutine owning owner's freelist. The private freelist is tried
 // first, then the shared spill (one lock, up to refillBatch chunks moved),
 // and only then is a fresh chunk allocated.
+//
+//acic:noalloc
 func (a *Arena[T]) Get(owner int) []T {
 	sh := &a.shards[owner]
 	sh.gets++
@@ -123,13 +125,15 @@ func (a *Arena[T]) Get(owner int) []T {
 	}
 	a.allocs++
 	a.mu.Unlock()
-	return make([]T, 0, a.chunkCap)
+	return make([]T, 0, a.chunkCap) //acic:allow-alloc pool miss: the whole point of the arena is that this line runs rarely
 }
 
 // Put returns a chunk to owner's private freelist. It must be called from
 // the goroutine owning that freelist; the chunk must not be touched
 // afterwards. Slices smaller than ChunkCap are dropped (only full-capacity
 // chunks recycle), but still count as puts so the ledger stays balanced.
+//
+//acic:noalloc
 func (a *Arena[T]) Put(owner int, c []T) {
 	sh := &a.shards[owner]
 	sh.puts++
@@ -162,3 +166,4 @@ func (a *Arena[T]) Stats() Stats {
 	}
 	return s
 }
+

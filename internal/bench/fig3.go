@@ -39,6 +39,11 @@ type workHandler struct {
 	cycleDelay     time.Duration
 	reductions     int64 // root only
 	stopped        atomic.Bool
+
+	// Handlers are small heap objects allocated back-to-back at Start, so
+	// without padding two PEs' method counters can land on one cache line
+	// and skew the very contention this benchmark measures.
+	_ [64]byte
 }
 
 type fig3Cycle struct{ epoch int64 }

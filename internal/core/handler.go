@@ -330,6 +330,8 @@ func (st *peState) receiveBatch(pe *runtime.PE, items []Update) {
 // receiveUpdate applies the arrival rules of §II-C: an update that improves
 // the vertex distance is applied immediately and parked in pq or pq_hold by
 // the pq threshold; anything else is rejected and counted processed.
+//
+//acic:noalloc
 func (st *peState) receiveUpdate(pe *runtime.PE, u Update) {
 	if st.params.ComputeCost > 0 {
 		pe.Work(st.params.ComputeCost)
@@ -356,6 +358,8 @@ func (st *peState) receiveUpdate(pe *runtime.PE, u Update) {
 // and, only if it still carries the vertex's best known distance, relax the
 // out-edges (§II-C). One pop per invocation keeps the PE responsive to
 // arriving messages.
+//
+//acic:noalloc
 func (st *peState) Idle(pe *runtime.PE) bool {
 	if st.queue.Len() == 0 {
 		return false
@@ -375,6 +379,8 @@ func (st *peState) Idle(pe *runtime.PE) bool {
 
 // relaxOutEdges creates one onward update per out-edge of v (§II-A) and
 // routes each through the tram threshold.
+//
+//acic:noalloc
 func (st *peState) relaxOutEdges(pe *runtime.PE, v int32, d float64) {
 	ts, ws := st.shared.g.Neighbors(int(v))
 	for i, w := range ts {
@@ -389,6 +395,8 @@ func (st *peState) relaxOutEdges(pe *runtime.PE, v int32, d float64) {
 
 // createUpdate registers a new update in the histogram and either hands it
 // to tramlib (bucket within t_tram) or parks it in tram_hold.
+//
+//acic:noalloc
 func (st *peState) createUpdate(pe *runtime.PE, u Update) {
 	st.hist.AddCreated(u.Dist)
 	st.shared.met.created.Inc(st.me)
@@ -400,10 +408,14 @@ func (st *peState) createUpdate(pe *runtime.PE, u Update) {
 	}
 }
 
+// tramInsert feeds tramlib and ships the flushed batch when one comes
+// back.
+//
+//acic:noalloc
 func (st *peState) tramInsert(pe *runtime.PE, u Update) {
 	dst := st.shared.part.Owner(u.Vertex)
 	if batch := st.shared.tm.Insert(pe.Index(), dst, u); batch != nil {
-		pe.Send(batch.DestPE, batchMsg{items: batch.Items}, len(batch.Items))
+		pe.Send(batch.DestPE, batchMsg{items: batch.Items}, len(batch.Items)) //acic:allow-alloc one batchMsg boxing per flushed batch, amortized over its items
 	}
 }
 

@@ -110,6 +110,8 @@ func (r *Registry) Counter(name string) *Counter {
 
 // Add adds d to pe's shard. It is the hot-path write: one atomic add on a
 // line owned by pe, zero allocations.
+//
+//acic:noalloc
 func (c *Counter) Add(pe int, d int64) {
 	if c == nil {
 		return
@@ -118,6 +120,8 @@ func (c *Counter) Add(pe int, d int64) {
 }
 
 // Inc adds 1 to pe's shard.
+//
+//acic:noalloc
 func (c *Counter) Inc(pe int) { c.Add(pe, 1) }
 
 // Value returns the sum over all shards. Mid-run the sum is a consistent
@@ -178,6 +182,8 @@ func (r *Registry) Gauge(name string) *Gauge {
 }
 
 // Set stores v in pe's shard.
+//
+//acic:noalloc
 func (g *Gauge) Set(pe int, v int64) {
 	if g == nil {
 		return
@@ -186,6 +192,8 @@ func (g *Gauge) Set(pe int, v int64) {
 }
 
 // Add adjusts pe's shard by d (gauges may go down; counters may not).
+//
+//acic:noalloc
 func (g *Gauge) Add(pe int, d int64) {
 	if g == nil {
 		return
@@ -194,6 +202,8 @@ func (g *Gauge) Add(pe int, d int64) {
 }
 
 // SetMax ratchets pe's shard up to at least v.
+//
+//acic:noalloc
 func (g *Gauge) SetMax(pe int, v int64) {
 	if g == nil {
 		return
@@ -298,6 +308,8 @@ func bucketOf(v int64) int {
 }
 
 // Observe records v into pe's row: one atomic add, zero allocations.
+//
+//acic:noalloc
 func (h *Histogram) Observe(pe int, v int64) {
 	if h == nil {
 		return

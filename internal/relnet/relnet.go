@@ -169,6 +169,11 @@ type pair struct {
 	ooo        map[uint64]struct{} // received seqs beyond cumAck+1
 	ackOwed    bool
 	ackPending bool // an ackTimer is in flight
+
+	// Layer stores pairs contiguously ([]pair, index s*n+d), so without
+	// padding the sender mutex of stream (s,d) and the receiver atomics of
+	// stream (s,d+1) share a cache line across goroutines.
+	_ [64]byte
 }
 
 // Layer is the reliable-delivery endpoint set for one simulated machine.

@@ -83,6 +83,8 @@ func newMailbox(numPEs int) *mailbox {
 
 // push appends an item and wakes the consumer. Push on a closed mailbox is
 // dropped (the PE has already exited). Safe from any goroutine.
+//
+//acic:noalloc
 func (m *mailbox) push(env envelope) {
 	m.mu.Lock()
 	if !m.closed {
@@ -102,10 +104,12 @@ func (m *mailbox) push(env envelope) {
 // envelope — because a ring entry published after a spilled entry would
 // otherwise be consumed first (the consumer prefers rings) and break
 // per-pair FIFO.
+//
+//acic:noalloc
 func (m *mailbox) pushFrom(src int, env envelope) {
 	r := m.rings[src].Load()
 	if r == nil {
-		r = &spscRing{}
+		r = &spscRing{} //acic:allow-alloc one ring per live (src,dst) pair, first envelope only
 		if !m.rings[src].CompareAndSwap(nil, r) {
 			// Only src stores this slot, so a lost CAS is impossible in
 			// practice; reload defensively anyway.

@@ -41,6 +41,8 @@ type spscRing struct {
 
 // tryPush publishes env; it reports false when the ring is full.
 // Producer goroutine only.
+//
+//acic:noalloc
 func (r *spscRing) tryPush(env envelope) bool {
 	t := r.tail.Load()
 	if t-r.head.Load() == ringCap {
@@ -53,6 +55,8 @@ func (r *spscRing) tryPush(env envelope) bool {
 
 // tryPop removes the oldest envelope; ok is false when the ring is empty.
 // Consumer goroutine only.
+//
+//acic:noalloc
 func (r *spscRing) tryPop() (envelope, bool) {
 	h := r.head.Load()
 	if h == r.tail.Load() {
@@ -65,6 +69,8 @@ func (r *spscRing) tryPop() (envelope, bool) {
 }
 
 // full reports whether a push would overflow. Producer goroutine only.
+//
+//acic:noalloc
 func (r *spscRing) full() bool {
 	return r.tail.Load()-r.head.Load() == ringCap
 }

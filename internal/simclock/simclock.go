@@ -23,14 +23,11 @@ type Clock interface {
 // simulation code may observe real time.
 type Wall struct{}
 
-// Now returns the current wall-clock time.
-//
-//acic:allow-wallclock simclock.Wall is the sanctioned wall-clock boundary
+// Now returns the current wall-clock time. (simclock is deliberately
+// outside detrand's enforced set: Wall is the one sanctioned boundary.)
 func (Wall) Now() time.Time { return time.Now() }
 
 // Since returns the wall-clock duration since t.
-//
-//acic:allow-wallclock simclock.Wall is the sanctioned wall-clock boundary
 func (Wall) Since(t time.Time) time.Duration { return time.Since(t) }
 
 // Default returns clk, or Wall if clk is nil. Run drivers call this on

@@ -129,6 +129,11 @@ type bufferSet[T any] struct {
 	mu   *sync.Mutex // non-nil for process-owned (shared) sets
 	bufs [][]T       // indexed by destination PE or process
 	rr   int         // round-robin offset for process-granularity delivery
+
+	// Manager stores sets contiguously ([]bufferSet, one per source PE in
+	// the worker-granularity modes), so adjacent inserters would otherwise
+	// false-share a cache line on every append bookkeeping write.
+	_ [64]byte
 }
 
 // New creates a Manager for the given topology, mode and per-buffer

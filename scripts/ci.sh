@@ -14,6 +14,12 @@ go vet ./...
 echo "== acic-lint (project analyzers) =="
 go run ./cmd/acic-lint ./...
 
+echo "== acic-lint -noalloc (static zero-alloc gate over //acic:noalloc hot paths) =="
+go run ./cmd/acic-lint -noalloc ./...
+
+echo "== lint sabotage self-test (every analyzer still bites) =="
+scripts/lint_sabotage.sh
+
 echo "== build + test (with coverage) =="
 go build ./...
 cover_out="$(mktemp)"
