@@ -1,0 +1,117 @@
+package core
+
+// Regression tests for the input/ownership contracts hardened for the
+// resident query engine: PathTo's unreachability test and the Scratch
+// exclusivity latch.
+
+import (
+	"errors"
+	"math"
+	"reflect"
+	stdruntime "runtime"
+	"testing"
+	"time"
+
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/netsim"
+)
+
+// TestPathToNearMaxWeight pins the math.IsInf unreachability test: PathTo
+// used to treat any distance above 1e308 as unreachable, misreporting
+// huge-but-finite distances (legal with near-MaxFloat64 edge weights).
+func TestPathToNearMaxWeight(t *testing.T) {
+	r := &Result{
+		Dist:   []float64{0, 1.5e308, math.Inf(1), math.NaN()},
+		Parent: []int32{-1, 0, -1, -1},
+	}
+	if got := r.PathTo(1); !reflect.DeepEqual(got, []int32{0, 1}) {
+		t.Errorf("PathTo(1) = %v, want [0 1] (dist 1.5e308 is finite, hence reachable)", got)
+	}
+	if got := r.PathTo(2); got != nil {
+		t.Errorf("PathTo(2) = %v, want nil for +Inf", got)
+	}
+	if got := r.PathTo(3); got != nil {
+		t.Errorf("PathTo(3) = %v, want nil for NaN", got)
+	}
+}
+
+// TestPathToNearMaxWeightEndToEnd runs the full machine over a chain whose
+// accumulated distance exceeds 1e308 while staying finite.
+func TestPathToNearMaxWeightEndToEnd(t *testing.T) {
+	g := mustChain(t, 3, 8e307) // dist[2] = 1.6e308 < MaxFloat64
+	res, err := Run(g, 0, Options{Topo: netsim.SingleNode(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := 1.6e308; math.Abs(res.Dist[2]-want)/want > 1e-12 {
+		t.Fatalf("Dist[2] = %g, want ~%g", res.Dist[2], want)
+	}
+	if got := res.PathTo(2); !reflect.DeepEqual(got, []int32{0, 1, 2}) {
+		t.Errorf("PathTo(2) = %v, want [0 1 2]", got)
+	}
+}
+
+func mustChain(t *testing.T, n int, w float64) *graph.Graph {
+	t.Helper()
+	edges := make([]graph.Edge, 0, n-1)
+	for i := 0; i < n-1; i++ {
+		edges = append(edges, graph.Edge{From: int32(i), To: int32(i + 1), Weight: w})
+	}
+	g, err := graph.Build(n, edges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestScratchLatchRejectsLatchedScratch is the deterministic half of the
+// exclusivity contract: a Scratch already claimed by a Run (here, claimed
+// directly) makes Run fail loudly with ErrScratchInUse, and a released
+// Scratch is usable again.
+func TestScratchLatchRejectsLatchedScratch(t *testing.T) {
+	g := gen.Uniform(200, 800, gen.Config{Seed: 5})
+	sc := &Scratch{}
+	if err := sc.acquire(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(g, 0, Options{Scratch: sc}); !errors.Is(err, ErrScratchInUse) {
+		t.Fatalf("Run on latched Scratch: err = %v, want ErrScratchInUse", err)
+	}
+	sc.release()
+	if _, err := Run(g, 0, Options{Scratch: sc}); err != nil {
+		t.Fatalf("Run on released Scratch: %v", err)
+	}
+}
+
+// TestScratchLatchRejectsConcurrentRun drives the real collision: two
+// concurrent Runs handed one Scratch, the second arriving while the first
+// is mid-flight, must yield exactly one success and one ErrScratchInUse.
+func TestScratchLatchRejectsConcurrentRun(t *testing.T) {
+	g := gen.Uniform(1<<11, 16<<11, gen.Config{Seed: 3})
+	for attempt := 0; attempt < 10; attempt++ {
+		sc := &Scratch{}
+		firstErr := make(chan error, 1)
+		go func() {
+			_, err := Run(g, 0, Options{Scratch: sc, Latency: netsim.DefaultLatency()})
+			firstErr <- err
+		}()
+		// Wait for the first Run to claim the scratch, then collide.
+		deadline := time.Now().Add(5 * time.Second)
+		for !sc.inUse.Load() && time.Now().Before(deadline) {
+			stdruntime.Gosched()
+		}
+		_, err := Run(g, 1, Options{Scratch: sc})
+		if e := <-firstErr; e != nil {
+			t.Fatalf("first Run: %v", e)
+		}
+		if err == nil {
+			continue // first Run finished before we collided; try again
+		}
+		if !errors.Is(err, ErrScratchInUse) {
+			t.Fatalf("second Run: err = %v, want ErrScratchInUse", err)
+		}
+		return
+	}
+	t.Fatal("never observed two overlapping Runs in 10 attempts")
+}

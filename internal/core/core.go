@@ -23,6 +23,7 @@ package core
 
 import (
 	"fmt"
+	"math"
 	"time"
 
 	"acic/internal/histogram"
@@ -193,9 +194,10 @@ type Options struct {
 	// default.
 	Reliability *relnet.Config
 	// Scratch, when non-nil, recycles per-run allocations across repeated
-	// Runs of the same shape (see Scratch). Benchmark and stress drivers
-	// set this; one-shot callers leave it nil. Must not be shared by
-	// concurrent Runs.
+	// Runs of the same shape (see Scratch). Benchmark, stress and query
+	// drivers set this; one-shot callers leave it nil. Must not be shared
+	// by concurrent Runs — Run enforces this with an atomic latch and
+	// returns ErrScratchInUse on overlap.
 	Scratch *Scratch
 }
 
@@ -261,7 +263,7 @@ func (r *Result) PathTo(v int) []int32 {
 	if v < 0 || v >= len(r.Parent) {
 		return nil
 	}
-	if r.Dist[v] != r.Dist[v] || r.Dist[v] > 1e308 { // NaN or +Inf: unreachable
+	if math.IsInf(r.Dist[v], 1) || math.IsNaN(r.Dist[v]) { // unreachable
 		return nil
 	}
 	var rev []int32

@@ -38,6 +38,10 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 	if sc == nil {
 		sc = &Scratch{}
 	}
+	if err := sc.acquire(); err != nil {
+		return nil, err
+	}
+	defer sc.release()
 	sc.prepare(scratchKey{
 		pes:         topo.TotalPEs(),
 		bucketCount: params.BucketCount,

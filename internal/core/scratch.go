@@ -1,12 +1,20 @@
 package core
 
 import (
+	"errors"
 	"sync"
+	"sync/atomic"
 
 	"acic/internal/arena"
 	"acic/internal/histogram"
 	"acic/internal/pq"
 )
+
+// ErrScratchInUse is returned by Run when the Options.Scratch it was handed
+// is already owned by another in-flight Run. The exclusivity contract used
+// to live only in Scratch's doc comment; concurrent reuse silently corrupts
+// the arena and per-PE state, so Run now fails loudly instead.
+var ErrScratchInUse = errors.New("core: Scratch is already in use by a concurrent Run")
 
 // Scratch recycles the per-run allocations of repeated Runs on the same
 // machine shape: the update-chunk arena shared by tramlib and the hold
@@ -18,12 +26,27 @@ import (
 // A Scratch is keyed by the run shape (PE count, bucket count and width,
 // tram capacity). Passing it to a run with a different shape silently
 // discards the cached state and rebuilds it. A Scratch must not be shared
-// by concurrent Runs — it hands out exclusive state.
+// by concurrent Runs — it hands out exclusive state. Run enforces that
+// contract with an atomic in-use latch: the second of two overlapping Runs
+// on one Scratch returns ErrScratchInUse instead of corrupting state.
 type Scratch struct {
+	inUse atomic.Bool
 	key   scratchKey
 	pools *runPools
 	slots []*peSlot
 }
+
+// acquire claims exclusive ownership of the scratch for one Run, failing if
+// another Run holds it.
+func (sc *Scratch) acquire() error {
+	if !sc.inUse.CompareAndSwap(false, true) {
+		return ErrScratchInUse
+	}
+	return nil
+}
+
+// release returns the scratch after a Run, successful or not.
+func (sc *Scratch) release() { sc.inUse.Store(false) }
 
 type scratchKey struct {
 	pes         int

@@ -1,0 +1,119 @@
+package engine
+
+import (
+	"container/list"
+	"errors"
+	"sync"
+
+	"acic/internal/core"
+)
+
+// errEntryFailed is the internal signal that a cache entry's computation
+// errored; callers recompute or surface the recorded error.
+var errEntryFailed = errors.New("engine: cached computation failed")
+
+// cacheKey identifies one distance vector: which graph epoch it was
+// computed against and from which source.
+type cacheKey struct {
+	epoch  uint64
+	source int32
+}
+
+// cacheEntry is one (possibly in-flight) computed vector. ready is closed
+// when res/err are final; waiters hold the entry pointer, so an entry
+// evicted mid-flight still completes for everyone already waiting on it.
+type cacheEntry struct {
+	key   cacheKey
+	ready chan struct{}
+	res   *core.Result
+	err   error
+	elem  *list.Element
+}
+
+// lruCache is a mutex-guarded LRU of cacheEntry with single-flight
+// insertion: getOrCreate returns (entry, leader) where exactly one caller
+// per key is the leader responsible for computing and completing it.
+type lruCache struct {
+	capacity int
+
+	mu    sync.Mutex
+	items map[cacheKey]*cacheEntry
+	order *list.List // front = most recent
+}
+
+func newLRUCache(capacity int) *lruCache {
+	return &lruCache{
+		capacity: capacity,
+		items:    make(map[cacheKey]*cacheEntry, capacity),
+		order:    list.New(),
+	}
+}
+
+// get returns the entry under key (possibly still in flight), refreshing
+// its recency.
+func (c *lruCache) get(key cacheKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ent, ok := c.items[key]
+	if ok {
+		c.order.MoveToFront(ent.elem)
+	}
+	return ent, ok
+}
+
+// getOrCreate returns the entry under key, creating an in-flight one (and
+// evicting the least recent beyond capacity) when absent. The second result
+// is true iff this caller created the entry and must complete or fail it.
+func (c *lruCache) getOrCreate(key cacheKey) (*cacheEntry, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if ent, ok := c.items[key]; ok {
+		c.order.MoveToFront(ent.elem)
+		return ent, false
+	}
+	ent := &cacheEntry{key: key, ready: make(chan struct{})}
+	ent.elem = c.order.PushFront(ent)
+	c.items[key] = ent
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		evicted := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.items, evicted.key)
+	}
+	return ent, true
+}
+
+// complete publishes res on ent and wakes every waiter.
+func (c *lruCache) complete(ent *cacheEntry, res *core.Result) {
+	ent.res = res
+	close(ent.ready)
+}
+
+// fail records err on ent, wakes waiters, and removes the entry so the next
+// query for the key recomputes instead of re-serving the failure.
+func (c *lruCache) fail(ent *cacheEntry, err error) {
+	ent.err = err
+	close(ent.ready)
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.items[ent.key]; ok && cur == ent {
+		c.order.Remove(ent.elem)
+		delete(c.items, ent.key)
+	}
+}
+
+// purge drops every entry (in-flight leaders still complete their entries;
+// waiters holding pointers are unaffected).
+func (c *lruCache) purge() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.items = make(map[cacheKey]*cacheEntry, c.capacity)
+	c.order.Init()
+}
+
+// len returns the current entry count.
+func (c *lruCache) len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.order.Len()
+}

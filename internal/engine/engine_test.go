@@ -1,0 +1,322 @@
+package engine
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"acic/internal/core"
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/netsim"
+	"acic/internal/seq"
+)
+
+func testGraph() *graph.Graph {
+	return gen.Uniform(400, 3200, gen.Config{Seed: 9})
+}
+
+func mustEngine(t *testing.T, g *graph.Graph, cfg Config) *Engine {
+	t.Helper()
+	e, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+// TestQueryMatchesOracle: the engine's answer for a fresh source must match
+// both the sequential oracle and a fresh batch core.Run (the acceptance
+// check for serving correct distances out of the resident machine).
+func TestQueryMatchesOracle(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{})
+	res, err := e.Query(context.Background(), 3, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("first query reported a cache hit")
+	}
+	oracle := seq.Dijkstra(g, 3)
+	if !seq.Equal(res.Dist, oracle.Dist) {
+		t.Fatalf("engine vs Dijkstra mismatch at vertex %d", seq.FirstMismatch(res.Dist, oracle.Dist))
+	}
+	batch, err := core.Run(g, 3, core.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !seq.Equal(res.Dist, batch.Dist) {
+		t.Fatalf("engine vs batch core.Run mismatch at vertex %d", seq.FirstMismatch(res.Dist, batch.Dist))
+	}
+}
+
+// TestConcurrentQueriesDistinctSources exercises the full admission path
+// under -race: more concurrent queries than slots, every answer
+// oracle-checked. A generous queue + timeout means none should be shed.
+func TestConcurrentQueriesDistinctSources(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{MaxInFlight: 2, MaxQueue: 16, QueueTimeout: time.Minute})
+	sources := []int{0, 7, 42, 101, 250, 399}
+	oracle := make([][]float64, len(sources))
+	for i, s := range sources {
+		oracle[i] = seq.Dijkstra(g, s).Dist
+	}
+	var wg sync.WaitGroup
+	errs := make(chan error, len(sources))
+	for i, s := range sources {
+		wg.Add(1)
+		go func(i, s int) {
+			defer wg.Done()
+			res, err := e.Query(context.Background(), s, QueryOptions{})
+			if err != nil {
+				errs <- err
+				return
+			}
+			if !seq.Equal(res.Dist, oracle[i]) {
+				errs <- fmt.Errorf("distance mismatch for source %d", s)
+			}
+		}(i, s)
+	}
+	wg.Wait()
+	close(errs)
+	for err := range errs {
+		t.Error(err)
+	}
+}
+
+// TestCacheHitAndSingleFlight: concurrent identical queries must compute
+// once; a later repeat must hit the cache.
+func TestCacheHitAndSingleFlight(t *testing.T) {
+	g := testGraph()
+	// Injected latency keeps the first computation in flight long enough
+	// for the followers to pile onto it.
+	e := mustEngine(t, g, Config{Latency: netsim.DefaultLatency(), MaxInFlight: 4, MaxQueue: 16, QueueTimeout: time.Minute})
+	const k = 8
+	var wg sync.WaitGroup
+	results := make([]*QueryResult, k)
+	errs := make([]error, k)
+	for i := 0; i < k; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			results[i], errs[i] = e.Query(context.Background(), 5, QueryOptions{})
+		}(i)
+	}
+	wg.Wait()
+	misses := 0
+	for i := 0; i < k; i++ {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !results[i].CacheHit {
+			misses++
+		}
+	}
+	if misses != 1 {
+		t.Errorf("%d computations for %d identical concurrent queries, want exactly 1", misses, k)
+	}
+	snap := e.MetricsSnapshot()
+	if got := snap.Counter("engine.cache_misses"); got != 1 {
+		t.Errorf("engine.cache_misses = %d, want 1", got)
+	}
+	// Repeat after completion: a plain cache hit.
+	res, err := e.Query(context.Background(), 5, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit {
+		t.Error("repeat query missed the cache")
+	}
+}
+
+// TestSaturationSheds pins the load-shedding contract deterministically by
+// occupying every slot and filling the queue through the admission API,
+// then observing a query shed with ErrSaturated.
+func TestSaturationSheds(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{MaxInFlight: 1, MaxQueue: 1, QueueTimeout: 50 * time.Millisecond})
+	slot, err := e.admit(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One waiter fills the queue...
+	waiterErr := make(chan error, 1)
+	go func() {
+		_, err := e.Query(context.Background(), 1, QueryOptions{})
+		waiterErr <- err
+	}()
+	for e.queued.Load() == 0 {
+		time.Sleep(time.Millisecond)
+	}
+	// ...so the next query must be shed immediately.
+	_, err = e.Query(context.Background(), 2, QueryOptions{})
+	if !errors.Is(err, ErrSaturated) {
+		t.Fatalf("query into full queue: err = %v, want ErrSaturated", err)
+	}
+	// The queued waiter itself times out and sheds: the queue is bounded
+	// in time as well as length.
+	if err := <-waiterErr; !errors.Is(err, ErrSaturated) {
+		t.Fatalf("queued waiter: err = %v, want ErrSaturated after QueueTimeout", err)
+	}
+	e.releaseSlot(slot)
+	// Capacity restored: queries flow again.
+	if _, err := e.Query(context.Background(), 1, QueryOptions{}); err != nil {
+		t.Fatalf("query after release: %v", err)
+	}
+	if shed := e.MetricsSnapshot().Counter("engine.shed"); shed != 2 {
+		t.Errorf("engine.shed = %d, want 2", shed)
+	}
+}
+
+// TestDrain: Close rejects new queries, waits for in-flight ones, and
+// flips health to draining.
+func TestDrain(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{})
+	if _, err := e.Query(context.Background(), 0, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Query(context.Background(), 1, QueryOptions{}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("query after Close: err = %v, want ErrDraining", err)
+	}
+	// An uncached source forces /path through admission, which is closed.
+	if _, err := e.Path(context.Background(), 2, 1); !errors.Is(err, ErrDraining) {
+		t.Fatalf("path after Close: err = %v, want ErrDraining", err)
+	}
+	if h := e.Health(); h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+}
+
+// TestEpochInvalidation: bumping the epoch recomputes previously cached
+// sources.
+func TestEpochInvalidation(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{})
+	if _, err := e.Query(context.Background(), 4, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	res, err := e.Query(context.Background(), 4, QueryOptions{})
+	if err != nil || !res.CacheHit {
+		t.Fatalf("pre-invalidate repeat: hit=%v err=%v", res != nil && res.CacheHit, err)
+	}
+	e.InvalidateCache()
+	res, err = e.Query(context.Background(), 4, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("query after InvalidateCache still hit the cache")
+	}
+	if res.Epoch != 1 {
+		t.Errorf("epoch = %d, want 1", res.Epoch)
+	}
+}
+
+// TestBadSource: untrusted parameters fail with ErrBadVertex, never panic.
+func TestBadSource(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{})
+	for _, src := range []int{-1, g.NumVertices(), 1 << 30} {
+		if _, err := e.Query(context.Background(), src, QueryOptions{}); !errors.Is(err, ErrBadVertex) {
+			t.Errorf("Query(%d): err = %v, want ErrBadVertex", src, err)
+		}
+	}
+	if _, err := e.Path(context.Background(), 0, -3); !errors.Is(err, ErrBadVertex) {
+		t.Errorf("Path target -3: err = %v, want ErrBadVertex", err)
+	}
+}
+
+// TestScratchPoolRecycles: sequential queries reuse pooled Scratches and
+// stay correct after recycling (distinct sources defeat the cache).
+func TestScratchPoolRecycles(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{MaxInFlight: 1})
+	for _, src := range []int{1, 2, 3, 4, 5} {
+		res, err := e.Query(context.Background(), src, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		oracle := seq.Dijkstra(g, src)
+		if !seq.Equal(res.Dist, oracle.Dist) {
+			t.Fatalf("source %d: mismatch at %d after scratch recycling", src, seq.FirstMismatch(res.Dist, oracle.Dist))
+		}
+	}
+}
+
+// TestPerQueryMetricsSnapshot: CollectMetrics returns a per-query snapshot
+// with core counters, and cache hits return none.
+func TestPerQueryMetricsSnapshot(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{})
+	res, err := e.Query(context.Background(), 6, QueryOptions{CollectMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics == nil {
+		t.Fatal("no metrics snapshot on computing query")
+	}
+	if got := res.Metrics.Counter("core.updates_processed"); got == 0 {
+		t.Error("per-query snapshot has zero core.updates_processed")
+	}
+	res, err = e.Query(context.Background(), 6, QueryOptions{CollectMetrics: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit || res.Metrics != nil {
+		t.Errorf("cache hit: hit=%v metrics=%v, want hit with nil metrics", res.CacheHit, res.Metrics)
+	}
+}
+
+// TestLRUEviction: the cache holds at most CacheEntries vectors, evicting
+// the least recently used.
+func TestLRUEviction(t *testing.T) {
+	g := testGraph()
+	e := mustEngine(t, g, Config{CacheEntries: 2})
+	for _, src := range []int{1, 2, 3} {
+		if _, err := e.Query(context.Background(), src, QueryOptions{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n := e.cache.len(); n != 2 {
+		t.Fatalf("cache holds %d entries, want 2", n)
+	}
+	// Source 1 was evicted (oldest); source 3 is resident.
+	res, err := e.Query(context.Background(), 3, QueryOptions{})
+	if err != nil || !res.CacheHit {
+		t.Errorf("source 3: hit=%v err=%v, want resident", res != nil && res.CacheHit, err)
+	}
+	res, err = e.Query(context.Background(), 1, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Error("source 1 should have been evicted")
+	}
+}
+
+// TestUnreachableDistances: +Inf distances survive the trip through the
+// engine (regression guard for the PathTo fix's sibling path).
+func TestUnreachableDistances(t *testing.T) {
+	// 0 -> 1, vertex 2 isolated.
+	g, err := graph.Build(3, []graph.Edge{{From: 0, To: 1, Weight: 2}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	e := mustEngine(t, g, Config{Topo: netsim.SingleNode(2)})
+	res, err := e.Query(context.Background(), 0, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !math.IsInf(res.Dist[2], 1) {
+		t.Errorf("Dist[2] = %v, want +Inf", res.Dist[2])
+	}
+}

@@ -1,0 +1,153 @@
+package engine
+
+// Point-to-point queries. A /path query needs one distance, not |V| of
+// them; running the full ACIC machine would compute (and cache) everything
+// reachable. When the source's full vector is already resident the answer
+// is a tree walk; otherwise the engine runs a goal-directed label-setting
+// search with goal-distance pruning — the admissible-pruning playbook of
+// the heuristic-search paper (Yu et al., arXiv:2506.19349, §3): any partial
+// path whose cost already reaches the incumbent goal distance can be
+// discarded without losing optimality, and the search terminates the moment
+// the goal itself is settled.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"acic/internal/graph"
+	"acic/internal/pq"
+)
+
+// PathResult is one answered point-to-point query.
+type PathResult struct {
+	Source int
+	Target int
+	Epoch  uint64
+	// Reachable is false when no path exists; Distance is then +Inf and
+	// Path is nil.
+	Reachable bool
+	Distance  float64
+	// Path is the vertex sequence source..target.
+	Path []int32
+	// CacheHit is true when a resident full vector for the source answered
+	// the query without a search.
+	CacheHit bool
+	// Settled and Pruned describe the goal-directed search's work: settled
+	// vertices, and relaxations discarded by the goal-distance bound.
+	// Both are zero on cache hits.
+	Settled int64
+	Pruned  int64
+}
+
+// Path answers a point-to-point query. A resident (epoch, source) vector
+// short-circuits it; otherwise the search runs under the same admission
+// control as full queries.
+func (e *Engine) Path(ctx context.Context, source, target int) (*PathResult, error) {
+	e.mQueries.Inc(0)
+	e.mP2P.Inc(0)
+	n := e.g.NumVertices()
+	if source < 0 || source >= n {
+		e.mErrors.Inc(0)
+		return nil, fmt.Errorf("%w: source %d not in [0,%d)", ErrBadVertex, source, n)
+	}
+	if target < 0 || target >= n {
+		e.mErrors.Inc(0)
+		return nil, fmt.Errorf("%w: target %d not in [0,%d)", ErrBadVertex, target, n)
+	}
+	epoch := e.epoch.Load()
+	key := cacheKey{epoch: epoch, source: int32(source)}
+
+	// A completed cached vector answers without admission or search. An
+	// in-flight entry is not awaited: the point of /path is a cheap
+	// answer, and the goal-directed search below is exactly that.
+	if ent, ok := e.cache.get(key); ok {
+		select {
+		case <-ent.ready:
+			if ent.err == nil {
+				e.mHits.Inc(0)
+				res := ent.res
+				pr := &PathResult{Source: source, Target: target, Epoch: epoch, CacheHit: true}
+				pr.Distance = res.Dist[target]
+				if path := res.PathTo(target); path != nil {
+					pr.Reachable = true
+					pr.Path = path
+				} else {
+					pr.Distance = math.Inf(1)
+				}
+				return pr, nil
+			}
+		default:
+		}
+	}
+
+	slot, err := e.admit(ctx)
+	if err != nil {
+		return nil, err
+	}
+	defer e.releaseSlot(slot)
+	start := time.Now()
+	pr := goalDijkstra(e.g, source, target)
+	e.hQueryMicros.Observe(slot, time.Since(start).Microseconds())
+	pr.Epoch = epoch
+	e.mP2PPruned.Add(slot, pr.Pruned)
+	e.mP2PSettled.Add(slot, pr.Settled)
+	return pr, nil
+}
+
+// goalDijkstra is a label-setting search from source that stops when target
+// is settled, pruning every relaxation whose tentative distance reaches the
+// incumbent goal distance. With non-negative weights the first pop of the
+// target is optimal, and the zero heuristic keeps the incumbent bound
+// admissible, so pruning never discards the shortest path.
+func goalDijkstra(g *graph.Graph, source, target int) *PathResult {
+	n := g.NumVertices()
+	pr := &PathResult{Source: source, Target: target, Distance: math.Inf(1)}
+	dist := make([]float64, n)
+	parent := make([]int32, n)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		parent[i] = -1
+	}
+	dist[source] = 0
+	h := pq.NewIndexedHeap(n)
+	h.Push(source, 0)
+	goalBound := math.Inf(1) // incumbent: best known distance to target
+	for h.Len() > 0 {
+		v, d := h.PopMin()
+		pr.Settled++
+		if v == target {
+			pr.Reachable = true
+			pr.Distance = d
+			break
+		}
+		ts, ws := g.Neighbors(v)
+		for i, to := range ts {
+			nd := d + ws[i]
+			if nd >= goalBound {
+				pr.Pruned++
+				continue
+			}
+			if nd < dist[to] {
+				dist[to] = nd
+				parent[to] = int32(v)
+				h.PushOrDecrease(int(to), nd)
+				if int(to) == target {
+					goalBound = nd
+				}
+			}
+		}
+	}
+	if pr.Reachable {
+		var rev []int32
+		for cur := int32(target); cur >= 0; cur = parent[cur] {
+			rev = append(rev, cur)
+		}
+		for i, j := 0, len(rev)-1; i < j; i, j = i+1, j-1 {
+			rev[i], rev[j] = rev[j], rev[i]
+		}
+		pr.Path = rev
+	}
+	return pr
+}

@@ -185,10 +185,12 @@ func (g *Graph) OutDegreeStats() DegreeStats {
 
 // ReachableFrom returns the number of vertices reachable from src (including
 // src) and the number of edges whose source is reachable. The edge count is
-// the Graph500 "traversed edges" denominator used for TEPS (§IV-F).
+// the Graph500 "traversed edges" denominator used for TEPS (§IV-F). A src
+// outside [0, NumVertices) reaches nothing and returns (0, 0) — callers such
+// as the query service pass through untrusted sources.
 func (g *Graph) ReachableFrom(src int) (vertices int, edges int64) {
 	n := g.NumVertices()
-	if n == 0 {
+	if src < 0 || src >= n {
 		return 0, 0
 	}
 	visited := make([]bool, n)

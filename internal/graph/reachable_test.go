@@ -1,0 +1,26 @@
+package graph
+
+import "testing"
+
+// TestReachableFromOutOfRange pins the bounds check on ReachableFrom's
+// source argument: the query service passes through untrusted sources, and
+// an out-of-range src used to panic on visited[src].
+func TestReachableFromOutOfRange(t *testing.T) {
+	g := diamond()
+	for _, src := range []int{-1, -1 << 30, g.NumVertices(), 1 << 30} {
+		v, e := g.ReachableFrom(src)
+		if v != 0 || e != 0 {
+			t.Errorf("ReachableFrom(%d) = (%d,%d), want (0,0)", src, v, e)
+		}
+	}
+	// In-range behaviour is unchanged.
+	v, e := g.ReachableFrom(0)
+	if v != 4 || e != 5 {
+		t.Errorf("ReachableFrom(0) = (%d,%d), want (4,5)", v, e)
+	}
+	// The empty graph has no valid source at all.
+	empty := MustBuild(0, nil)
+	if v, e := empty.ReachableFrom(0); v != 0 || e != 0 {
+		t.Errorf("empty.ReachableFrom(0) = (%d,%d), want (0,0)", v, e)
+	}
+}

@@ -51,6 +51,13 @@ echo "== schedule-stress harness (short matrix, incl. fault sub-matrix) =="
 go run ./cmd/acic-stress -short
 go run -race ./cmd/acic-stress -short -seed 2
 
+echo "== query-service smoke (daemon: concurrent sssp+path, cache hit, 429 shed, graceful drain) =="
+# TestDaemonSmoke builds the real acic-serve binary, starts it, issues
+# concurrent single-source and point-to-point queries (oracle-checked),
+# asserts a cache hit on a repeated source and a 429 + Retry-After under
+# 16-way fan-in at capacity 2, then SIGTERMs it and requires a clean exit.
+go test -count=1 -run '^TestDaemonSmoke$' ./cmd/acic-serve
+
 echo "== lossy-fabric stage (drop+dup+reorder healed by the relnet layer) =="
 go run ./cmd/acic-run -algo acic -kind random -scale 10 -fault lossy -verify
 go run -race ./cmd/acic-run -algo acic -kind random -scale 9 -fault lossy -verify
