@@ -10,8 +10,13 @@
 //
 //	curl 'localhost:8080/sssp?source=0'
 //	curl 'localhost:8080/path?source=0&target=42'
+//	curl -X POST 'localhost:8080/mutate' -d '{"mutations":[{"op":"insert","from":0,"to":42,"weight":1.5}]}'
 //	curl 'localhost:8080/healthz'
 //	curl 'localhost:8080/metrics'
+//
+// The daemon always serves a dynamic engine: POST /mutate applies a batch
+// of edge mutations (insert, delete, set_weight), bumps the graph epoch,
+// and incrementally repairs resident cached vectors (see internal/dynamic).
 //
 // Admission control sheds load with 429 + Retry-After once the in-flight
 // and queued query bounds are both full; see internal/engine.
@@ -30,6 +35,7 @@ import (
 	"time"
 
 	"acic/internal/core"
+	"acic/internal/dynamic"
 	"acic/internal/engine"
 	"acic/internal/gctune"
 	"acic/internal/gen"
@@ -75,7 +81,7 @@ func main() {
 	params := core.DefaultParams()
 	params.PTram = *ptram
 	params.PPQ = *ppq
-	eng, err := engine.New(g, engine.Config{
+	eng, err := engine.NewDynamic(dynamic.FromCSR(g), engine.Config{
 		Topo:         netsim.Topology{Nodes: *nodes, ProcsPerNode: *ppn, PEsPerProc: *pepp},
 		Params:       params,
 		MaxInFlight:  *maxInFlight,

@@ -21,6 +21,7 @@ import (
 	"acic/internal/core"
 	"acic/internal/engine"
 	"acic/internal/gen"
+	"acic/internal/graph"
 	"acic/internal/netsim"
 	"acic/internal/seq"
 )
@@ -104,6 +105,19 @@ func TestServeInProcess(t *testing.T) {
 		if resp.StatusCode != q.code {
 			t.Errorf("GET %s: status %d, want %d", q.path, resp.StatusCode, q.code)
 		}
+	}
+
+	// This in-process engine is static; the daemon proper always serves a
+	// dynamic one (see main). /mutate must map that to 501, not a panic.
+	resp, err := http.Post(base+"/mutate", "application/json",
+		strings.NewReader(`{"mutations":[{"op":"insert","from":0,"to":1,"weight":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotImplemented {
+		t.Errorf("mutate on static engine: status %d, want 501", resp.StatusCode)
 	}
 
 	cancel()
@@ -260,6 +274,82 @@ func TestDaemonSmoke(t *testing.T) {
 	// Bad input: out-of-range source must be a 400, not a panic.
 	if code, _ := get("/sssp?source=99999"); code != 400 {
 		t.Fatalf("out-of-range source: status %d, want 400", code)
+	}
+
+	// Mutation round-trip: POST /mutate inserts an edge, the epoch bumps,
+	// and the repaired resident vector for source 1 serves the next query
+	// as a cache hit with the post-mutation oracle checksum.
+	post := func(body string) (int, []byte) {
+		t.Helper()
+		resp, err := http.Post(base+"/mutate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatalf("POST /mutate: %v", err)
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, b
+	}
+	var mres struct {
+		Epoch           uint64 `json:"epoch"`
+		Inserted        int    `json:"inserted"`
+		RepairedVectors int    `json:"repaired_vectors"`
+	}
+	code, body = post(`{"mutations":[{"op":"insert","from":1,"to":900,"weight":0.5}]}`)
+	if code != 200 {
+		t.Fatalf("mutate: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &mres); err != nil {
+		t.Fatal(err)
+	}
+	if mres.Epoch != 1 || mres.Inserted != 1 || mres.RepairedVectors < 1 {
+		t.Fatalf("mutate response %+v, want epoch 1, 1 insert, >=1 repaired vector", mres)
+	}
+	mg := graph.MustBuild(g.NumVertices(), append(g.Edges(), graph.Edge{From: 1, To: 900, Weight: 0.5}))
+	moracle := seq.Dijkstra(mg, 1)
+	wantReach, wantSum = 0, 0.0
+	for _, d := range moracle.Dist {
+		if d < seq.Inf {
+			wantReach++
+			wantSum += d
+		}
+	}
+	var sr2 struct {
+		Epoch     uint64  `json:"epoch"`
+		CacheHit  bool    `json:"cache_hit"`
+		Reachable int     `json:"reachable"`
+		Checksum  float64 `json:"checksum"`
+	}
+	code, body = get("/sssp?source=1")
+	if code != 200 {
+		t.Fatalf("post-mutation sssp: status %d: %s", code, body)
+	}
+	if err := json.Unmarshal(body, &sr2); err != nil {
+		t.Fatal(err)
+	}
+	if sr2.Epoch != 1 || !sr2.CacheHit {
+		t.Fatalf("post-mutation sssp: epoch=%d cache_hit=%v, want repaired hit at epoch 1", sr2.Epoch, sr2.CacheHit)
+	}
+	if sr2.Reachable != wantReach {
+		t.Fatalf("post-mutation sssp: reachable %d, oracle %d", sr2.Reachable, wantReach)
+	}
+	if diff := sr2.Checksum - wantSum; diff > 1e-6*wantSum || diff < -1e-6*wantSum {
+		t.Fatalf("post-mutation checksum %g, oracle %g", sr2.Checksum, wantSum)
+	}
+	// Bad mutation batches: missing edge and unknown op are 400s, and the
+	// epoch stays put.
+	if code, _ := post(`{"mutations":[{"op":"delete","from":1,"to":1}]}`); code != 400 {
+		t.Fatalf("delete of missing edge: status %d, want 400", code)
+	}
+	if code, _ := post(`{"mutations":[{"op":"teleport","from":0,"to":1}]}`); code != 400 {
+		t.Fatalf("unknown op: status %d, want 400", code)
+	}
+	var h struct {
+		Epoch uint64 `json:"epoch"`
+	}
+	if code, body := get("/healthz"); code != 200 {
+		t.Fatalf("healthz after mutate: status %d", code)
+	} else if err := json.Unmarshal(body, &h); err != nil || h.Epoch != 1 {
+		t.Fatalf("healthz epoch %d (err %v), want 1", h.Epoch, err)
 	}
 
 	// Saturation: fire concurrent uncached queries at a capacity of one

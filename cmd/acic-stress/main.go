@@ -38,6 +38,7 @@ func run(args []string, out *os.File) int {
 		runs     = fs.Int("runs", 1, "full passes over the algorithm × topology × graph × profile matrix")
 		profiles = fs.String("profile", "all", "comma-separated jitter profiles (uniform, stall-tier, reorder, burst) or 'all'")
 		faults   = fs.String("fault", "all", "comma-separated fabric fault profiles for the acic reliability sub-matrix (drop, dup, reorder, lossy), 'all', or 'none' to disable it")
+		churn    = fs.String("churn", "on", "dynamic-graph churn sub-matrix: on, off, or only")
 		short    = fs.Bool("short", false, "CI smoke mode: shrunken matrix and graphs")
 		only     = fs.Int("run", -1, "replay exactly one run index from the matrix")
 		timeout  = fs.Duration("timeout", 60*time.Second, "per-run hang watchdog")
@@ -47,9 +48,15 @@ func run(args []string, out *os.File) int {
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	churnMode, err := stress.ParseChurn(*churn)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
 	opts := stress.Options{
 		Seed:        *seed,
 		Rounds:      *runs,
+		Churn:       churnMode,
 		Short:       *short,
 		Timeout:     *timeout,
 		Log:         out,
@@ -88,7 +95,7 @@ func run(args []string, out *os.File) int {
 		fmt.Fprintf(out, "\nstress: %d/%d runs FAILED (seed %d)\n", len(rep.Failures), rep.Total, *seed)
 		for _, f := range rep.Failures {
 			fmt.Fprintf(out, "  %s\n  replay: go run ./cmd/acic-stress %s -run %d\n",
-				f.Spec, replayFlags(*seed, *runs, *profiles, *faults, *short), f.Spec.Index)
+				f.Spec, replayFlags(*seed, *runs, *profiles, *faults, *churn, *short), f.Spec.Index)
 		}
 		return 1
 	}
@@ -98,13 +105,16 @@ func run(args []string, out *os.File) int {
 
 // replayFlags reconstructs the enumeration-determining flags so the printed
 // replay command rebuilds the identical matrix and hits the same run index.
-func replayFlags(seed uint64, runs int, profiles, faults string, short bool) string {
+func replayFlags(seed uint64, runs int, profiles, faults, churn string, short bool) string {
 	s := fmt.Sprintf("-seed %d -runs %d", seed, runs)
 	if profiles != "all" {
 		s += " -profile " + profiles
 	}
 	if faults != "all" {
 		s += " -fault " + faults
+	}
+	if churn != "on" {
+		s += " -churn " + churn
 	}
 	if short {
 		s += " -short"

@@ -11,18 +11,21 @@ func TestReplayFlags(t *testing.T) {
 		runs     int
 		profiles string
 		faults   string
+		churn    string
 		short    bool
 		want     string
 	}{
-		{1, 1, "all", "all", false, "-seed 1 -runs 1"},
-		{7, 3, "all", "all", true, "-seed 7 -runs 3 -short"},
-		{2, 1, "burst,reorder", "all", false, "-seed 2 -runs 1 -profile burst,reorder"},
-		{4, 2, "all", "drop,lossy", false, "-seed 4 -runs 2 -fault drop,lossy"},
-		{5, 1, "none", "none", true, "-seed 5 -runs 1 -profile none -fault none -short"},
+		{1, 1, "all", "all", "on", false, "-seed 1 -runs 1"},
+		{7, 3, "all", "all", "on", true, "-seed 7 -runs 3 -short"},
+		{2, 1, "burst,reorder", "all", "on", false, "-seed 2 -runs 1 -profile burst,reorder"},
+		{4, 2, "all", "drop,lossy", "on", false, "-seed 4 -runs 2 -fault drop,lossy"},
+		{5, 1, "none", "none", "on", true, "-seed 5 -runs 1 -profile none -fault none -short"},
+		{6, 1, "all", "all", "only", true, "-seed 6 -runs 1 -churn only -short"},
+		{8, 1, "all", "all", "off", false, "-seed 8 -runs 1 -churn off"},
 	}
 	for _, c := range cases {
-		if got := replayFlags(c.seed, c.runs, c.profiles, c.faults, c.short); got != c.want {
-			t.Errorf("replayFlags(%d,%d,%q,%q,%v) = %q, want %q", c.seed, c.runs, c.profiles, c.faults, c.short, got, c.want)
+		if got := replayFlags(c.seed, c.runs, c.profiles, c.faults, c.churn, c.short); got != c.want {
+			t.Errorf("replayFlags(%d,%d,%q,%q,%q,%v) = %q, want %q", c.seed, c.runs, c.profiles, c.faults, c.churn, c.short, got, c.want)
 		}
 	}
 }

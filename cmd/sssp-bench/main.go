@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig    = flag.String("fig", "all", "experiment: 1 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | modes | ablate | road | od | policy | delta | part | rel | all")
+		fig    = flag.String("fig", "all", "experiment: 1 | 3 | 4 | 5 | 6 | 7 | 8 | 9 | modes | ablate | road | od | policy | delta | part | rel | dyn | all")
 		scale  = flag.Int("scale", 0, "override graph scale (2^scale vertices)")
 		trials = flag.Int("trials", 0, "override trials per data point")
 		nodes  = flag.String("nodes", "", "override node counts, e.g. 1,2,4,8,16")
@@ -219,6 +219,14 @@ func main() {
 			fail(err)
 		}
 		emit(bench.RelTable(points))
+	}
+	if want("dyn") {
+		ran = true
+		points, err := cfg.DynamicRepair()
+		if err != nil {
+			fail(err)
+		}
+		emit(bench.DynTable(points))
 	}
 	// Observability capture: one additional fully instrumented ACIC run,
 	// written alongside whatever figures ran. With -fig none it is the

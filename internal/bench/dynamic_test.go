@@ -1,0 +1,32 @@
+package bench
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDynamicRepair(t *testing.T) {
+	c := tinyConfig()
+	points, err := c.DynamicRepair()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 5 {
+		t.Fatalf("got %d points", len(points))
+	}
+	for _, p := range points {
+		if p.RepairMS < 0 || p.RecomputeMS <= 0 {
+			t.Errorf("batch %d: nonpositive timings %+v", p.Batch, p)
+		}
+		if p.Speedup <= 0 {
+			t.Errorf("batch %d: speedup %g", p.Batch, p.Speedup)
+		}
+	}
+	if points[0].Batch != 1 || points[len(points)-1].Batch != 256 {
+		t.Errorf("batch sweep wrong: %+v", points)
+	}
+	table := DynTable(points).String()
+	if !strings.Contains(table, "repair") || !strings.Contains(table, "speedup") {
+		t.Errorf("table missing columns:\n%s", table)
+	}
+}

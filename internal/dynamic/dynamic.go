@@ -1,0 +1,318 @@
+// Package dynamic turns the repository's immutable CSR graphs into living
+// networks: a batched mutation API (edge inserts, deletes, weight changes)
+// over a mutable adjacency representation, with monotonically increasing
+// graph epochs, plus the incremental SSSP repair that makes mutations cheap
+// to serve (see repair.go).
+//
+// The design follows the incremental/decremental split of the dynamic-SSSP
+// literature (SSSP-Del, Javanrood & Ripeanu, arXiv:2508.14319; Kyng et al.,
+// arXiv:2110.11712): an insert or weight decrease can only create shorter
+// paths, so it is repaired by re-seeding relaxations from the affected
+// endpoints; a delete or weight increase can only invalidate the
+// shortest-path subtree hanging off the mutated edge, so it is repaired by
+// discarding that subtree and re-relaxing from its frontier. Both repairs
+// ride the same label-correcting machinery (a seeded Dijkstra pass) — the
+// dead-update tolerance of the ACIC core is what makes the re-seeded
+// updates safe to inject at serving time.
+//
+// A Graph is NOT safe for concurrent use: callers (internal/engine) must
+// serialize Apply/Repair/Snapshot. Readers of CSR snapshots are unaffected
+// by later mutations — Snapshot returns a fresh immutable *graph.Graph.
+package dynamic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"acic/internal/graph"
+)
+
+// Op is a mutation kind.
+type Op uint8
+
+const (
+	// Insert adds a directed edge From→To with weight Weight. Parallel
+	// edges are allowed, matching graph.Build.
+	Insert Op = iota
+	// Delete removes one existing edge From→To. With parallel edges the
+	// first (lowest-slot) occurrence is removed. Deleting a missing edge
+	// fails the batch.
+	Delete
+	// SetWeight changes the weight of one existing edge From→To (first
+	// occurrence) to Weight. Reweighting a missing edge fails the batch.
+	SetWeight
+)
+
+// String returns the wire name used by the HTTP mutation API.
+func (o Op) String() string {
+	switch o {
+	case Insert:
+		return "insert"
+	case Delete:
+		return "delete"
+	case SetWeight:
+		return "set_weight"
+	}
+	return fmt.Sprintf("op(%d)", uint8(o))
+}
+
+// ParseOp maps a wire name back to an Op.
+func ParseOp(s string) (Op, error) {
+	switch s {
+	case "insert":
+		return Insert, nil
+	case "delete":
+		return Delete, nil
+	case "set_weight", "setweight", "set-weight":
+		return SetWeight, nil
+	}
+	return 0, fmt.Errorf("dynamic: unknown mutation op %q", s)
+}
+
+// Mutation is one edge mutation. Weight is ignored by Delete.
+type Mutation struct {
+	Op     Op
+	From   int32
+	To     int32
+	Weight float64
+}
+
+func (m Mutation) String() string {
+	if m.Op == Delete {
+		return fmt.Sprintf("%s %d->%d", m.Op, m.From, m.To)
+	}
+	return fmt.Sprintf("%s %d->%d w=%g", m.Op, m.From, m.To, m.Weight)
+}
+
+// ErrEdgeNotFound is returned (wrapped) when a Delete or SetWeight names an
+// edge the graph does not contain.
+var ErrEdgeNotFound = errors.New("dynamic: edge not found")
+
+// half is one directed half-edge as stored in an adjacency list.
+type half struct {
+	v int32
+	w float64
+}
+
+// Graph is a mutable directed weighted graph with dense vertex ids and a
+// batch epoch counter. Construct with FromCSR (or New for an edgeless
+// graph); mutate with Apply. Forward and reverse adjacency are both
+// maintained — the delete repair needs in-edges to re-relax an invalidated
+// subtree from its frontier.
+type Graph struct {
+	fwd      [][]half
+	rev      [][]half
+	numEdges int
+	epoch    uint64
+}
+
+// New returns an edgeless dynamic graph with n vertices at epoch 0.
+func New(n int) *Graph {
+	return &Graph{fwd: make([][]half, n), rev: make([][]half, n)}
+}
+
+// FromCSR copies a CSR graph into mutable adjacency form at epoch 0. The
+// CSR graph is not retained.
+func FromCSR(g *graph.Graph) *Graph {
+	dg := New(g.NumVertices())
+	g.EachEdge(func(from, to int32, w float64) {
+		dg.fwd[from] = append(dg.fwd[from], half{v: to, w: w})
+		dg.rev[to] = append(dg.rev[to], half{v: from, w: w})
+	})
+	dg.numEdges = g.NumEdges()
+	return dg
+}
+
+// NumVertices returns |V|.
+func (g *Graph) NumVertices() int { return len(g.fwd) }
+
+// NumEdges returns |E| under the current epoch.
+func (g *Graph) NumEdges() int { return g.numEdges }
+
+// Epoch returns the number of successfully applied mutation batches.
+// Every successful Apply increments it by exactly one; a failed Apply
+// leaves it (and the graph) unchanged.
+func (g *Graph) Epoch() uint64 { return g.epoch }
+
+// Snapshot builds a fresh immutable CSR graph of the current state. The
+// snapshot shares nothing with the dynamic graph, so later mutations never
+// touch it — internal/engine hands snapshots to concurrent queries.
+func (g *Graph) Snapshot() *graph.Graph {
+	edges := make([]graph.Edge, 0, g.numEdges)
+	for v, hs := range g.fwd {
+		for _, h := range hs {
+			edges = append(edges, graph.Edge{From: int32(v), To: h.v, Weight: h.w})
+		}
+	}
+	return graph.MustBuild(len(g.fwd), edges)
+}
+
+// Delta is the classified record of one applied batch, consumed by Repair.
+// Decreased lists edges that were inserted or whose weight decreased
+// (repair re-seeds forward relaxations from them); Increased lists edges
+// that were deleted or whose weight increased, carrying the OLD weight
+// (repair invalidates the shortest-path subtree hanging off them).
+type Delta struct {
+	// Epoch is the graph epoch after the batch.
+	Epoch     uint64
+	Decreased []graph.Edge
+	Increased []graph.Edge
+	// Inserted/Deleted/Reweighted count the batch by op.
+	Inserted, Deleted, Reweighted int
+}
+
+// Empty reports whether the delta requires no repair work.
+func (d *Delta) Empty() bool { return len(d.Decreased) == 0 && len(d.Increased) == 0 }
+
+// Apply executes one mutation batch atomically: either every mutation is
+// applied, the epoch advances by exactly one, and the classified Delta is
+// returned — or the first invalid mutation rolls the already-applied prefix
+// back and the graph (and epoch) are unchanged. Mutations within a batch
+// apply in order, so a batch may insert an edge and then delete it.
+func (g *Graph) Apply(batch []Mutation) (*Delta, error) {
+	d := &Delta{}
+	applied := make([]Mutation, 0, len(batch)) // inverse ops, for rollback
+	rollback := func() {
+		for i := len(applied) - 1; i >= 0; i-- {
+			inv := applied[i]
+			switch inv.Op {
+			case Insert:
+				g.insertEdge(inv.From, inv.To, inv.Weight)
+			case Delete:
+				if !g.removeEdgeW(inv.From, inv.To, inv.Weight) {
+					panic("dynamic: rollback lost an edge") // unreachable: inverses are exact
+				}
+			case SetWeight:
+				if _, ok := g.setWeight(inv.From, inv.To, inv.Weight); !ok {
+					panic("dynamic: rollback lost an edge")
+				}
+			}
+		}
+	}
+	n := len(g.fwd)
+	for i, m := range batch {
+		if m.From < 0 || int(m.From) >= n || m.To < 0 || int(m.To) >= n {
+			rollback()
+			return nil, fmt.Errorf("dynamic: batch[%d] %s: vertex out of range [0,%d)", i, m, n)
+		}
+		switch m.Op {
+		case Insert:
+			if m.Weight < 0 || math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) {
+				rollback()
+				return nil, fmt.Errorf("dynamic: batch[%d] %s: bad weight", i, m)
+			}
+			g.insertEdge(m.From, m.To, m.Weight)
+			applied = append(applied, Mutation{Op: Delete, From: m.From, To: m.To, Weight: m.Weight})
+			d.Inserted++
+			d.Decreased = append(d.Decreased, graph.Edge{From: m.From, To: m.To, Weight: m.Weight})
+		case Delete:
+			w, ok := g.removeEdge(m.From, m.To)
+			if !ok {
+				rollback()
+				return nil, fmt.Errorf("%w: batch[%d] %s", ErrEdgeNotFound, i, m)
+			}
+			applied = append(applied, Mutation{Op: Insert, From: m.From, To: m.To, Weight: w})
+			d.Deleted++
+			d.Increased = append(d.Increased, graph.Edge{From: m.From, To: m.To, Weight: w})
+		case SetWeight:
+			if m.Weight < 0 || math.IsNaN(m.Weight) || math.IsInf(m.Weight, 0) {
+				rollback()
+				return nil, fmt.Errorf("dynamic: batch[%d] %s: bad weight", i, m)
+			}
+			old, ok := g.setWeight(m.From, m.To, m.Weight)
+			if !ok {
+				rollback()
+				return nil, fmt.Errorf("%w: batch[%d] %s", ErrEdgeNotFound, i, m)
+			}
+			applied = append(applied, Mutation{Op: SetWeight, From: m.From, To: m.To, Weight: old})
+			d.Reweighted++
+			if m.Weight < old {
+				d.Decreased = append(d.Decreased, graph.Edge{From: m.From, To: m.To, Weight: m.Weight})
+			} else if m.Weight > old {
+				d.Increased = append(d.Increased, graph.Edge{From: m.From, To: m.To, Weight: old})
+			}
+		default:
+			rollback()
+			return nil, fmt.Errorf("dynamic: batch[%d]: unknown op %d", i, m.Op)
+		}
+	}
+	g.epoch++
+	d.Epoch = g.epoch
+	return d, nil
+}
+
+// insertEdge appends From→To to both adjacency lists.
+func (g *Graph) insertEdge(from, to int32, w float64) {
+	g.fwd[from] = append(g.fwd[from], half{v: to, w: w})
+	g.rev[to] = append(g.rev[to], half{v: from, w: w})
+	g.numEdges++
+}
+
+// removeEdge removes the first from→to occurrence from the forward list and
+// its weight-matched partner from the reverse list (parallel edges may
+// differ only by weight, so the reverse removal must match the weight of
+// the forward edge actually removed).
+func (g *Graph) removeEdge(from, to int32) (w float64, ok bool) {
+	for i, h := range g.fwd[from] {
+		if h.v == to {
+			g.fwd[from] = swapRemove(g.fwd[from], i)
+			if !removeHalf(&g.rev[to], from, h.w) {
+				panic("dynamic: fwd/rev adjacency out of sync")
+			}
+			g.numEdges--
+			return h.w, true
+		}
+	}
+	return 0, false
+}
+
+// removeEdgeW removes one from→to occurrence with exactly weight w (the
+// rollback inverse of Insert).
+func (g *Graph) removeEdgeW(from, to int32, w float64) bool {
+	for i, h := range g.fwd[from] {
+		if h.v == to && h.w == w {
+			g.fwd[from] = swapRemove(g.fwd[from], i)
+			if !removeHalf(&g.rev[to], from, w) {
+				panic("dynamic: fwd/rev adjacency out of sync")
+			}
+			g.numEdges--
+			return true
+		}
+	}
+	return false
+}
+
+// setWeight rewrites the weight of the first from→to occurrence (and its
+// weight-matched reverse partner), returning the old weight.
+func (g *Graph) setWeight(from, to int32, w float64) (old float64, ok bool) {
+	for i, h := range g.fwd[from] {
+		if h.v == to {
+			old = h.w
+			g.fwd[from][i].w = w
+			for j := range g.rev[to] {
+				if g.rev[to][j].v == from && g.rev[to][j].w == old {
+					g.rev[to][j].w = w
+					return old, true
+				}
+			}
+			panic("dynamic: fwd/rev adjacency out of sync")
+		}
+	}
+	return 0, false
+}
+
+func removeHalf(hs *[]half, v int32, w float64) bool {
+	for i, h := range *hs {
+		if h.v == v && h.w == w {
+			*hs = swapRemove(*hs, i)
+			return true
+		}
+	}
+	return false
+}
+
+func swapRemove(hs []half, i int) []half {
+	hs[i] = hs[len(hs)-1]
+	return hs[:len(hs)-1]
+}

@@ -102,6 +102,74 @@ func (c *lruCache) fail(ent *cacheEntry, err error) {
 	}
 }
 
+// put inserts an already-completed result under key — the path by which
+// Mutate re-homes repaired vectors at the new epoch. A key that is already
+// present (a query raced ahead and is computing it fresh) is left alone.
+func (c *lruCache) put(key cacheKey, res *core.Result) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if _, ok := c.items[key]; ok {
+		return
+	}
+	ent := &cacheEntry{key: key, ready: make(chan struct{}), res: res}
+	close(ent.ready)
+	ent.elem = c.order.PushFront(ent)
+	c.items[key] = ent
+	for c.order.Len() > c.capacity {
+		oldest := c.order.Back()
+		evicted := oldest.Value.(*cacheEntry)
+		c.order.Remove(oldest)
+		delete(c.items, evicted.key)
+	}
+}
+
+// remove drops ent if it is still the resident entry for its key (a
+// replacement under the same key is left alone). Waiters holding the entry
+// pointer still read its completed result.
+func (c *lruCache) remove(ent *cacheEntry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if cur, ok := c.items[ent.key]; ok && cur == ent {
+		c.order.Remove(ent.elem)
+		delete(c.items, ent.key)
+	}
+}
+
+// purgeStale drops every entry whose epoch differs from epoch — Mutate's
+// eviction, which unlike purge leaves current-epoch entries (including
+// in-flight leaders that raced ahead of the purge) intact.
+func (c *lruCache) purgeStale(epoch uint64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for key, ent := range c.items {
+		if key.epoch != epoch {
+			c.order.Remove(ent.elem)
+			delete(c.items, key)
+		}
+	}
+}
+
+// completed snapshots the completed, non-failed entries at epoch — the
+// resident vectors Mutate repairs across a batch.
+func (c *lruCache) completed(epoch uint64) []*cacheEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var out []*cacheEntry
+	for key, ent := range c.items {
+		if key.epoch != epoch {
+			continue
+		}
+		select {
+		case <-ent.ready:
+			if ent.err == nil {
+				out = append(out, ent)
+			}
+		default: // still in flight; it will be purged, not repaired
+		}
+	}
+	return out
+}
+
 // purge drops every entry (in-flight leaders still complete their entries;
 // waiters holding pointers are unaffected).
 func (c *lruCache) purge() {

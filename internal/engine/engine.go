@@ -46,6 +46,7 @@ import (
 	"time"
 
 	"acic/internal/core"
+	"acic/internal/dynamic"
 	"acic/internal/graph"
 	"acic/internal/metrics"
 	"acic/internal/netsim"
@@ -101,12 +102,27 @@ func (c Config) withDefaults() Config {
 	return c
 }
 
-// Engine is a resident SSSP query engine over one shared graph. Construct
-// with New; all methods are safe for concurrent use.
-type Engine struct {
+// graphVersion is one immutable (epoch, graph) pair. Queries load the
+// current version exactly once, so the epoch they admit under and the CSR
+// arrays they read always belong together even while a mutation swaps the
+// version underneath them.
+type graphVersion struct {
+	epoch uint64
 	g     *graph.Graph
-	cfg   Config
-	epoch atomic.Uint64
+}
+
+// Engine is a resident SSSP query engine over one shared graph version.
+// Construct with New (static graph) or NewDynamic (mutable graph, see
+// mutate.go); all methods are safe for concurrent use.
+type Engine struct {
+	version atomic.Pointer[graphVersion]
+	cfg     Config
+
+	// dg is the mutable graph behind a dynamic engine; nil for static
+	// engines. mutMu serializes Mutate and InvalidateCache — the only
+	// operations that swap the version pointer.
+	dg    *dynamic.Graph
+	mutMu sync.Mutex
 
 	// slots carries the admission-slot ids [0, MaxInFlight); holding an id
 	// is holding the right to run one query. scratch[i] is slot i's
@@ -135,6 +151,8 @@ type Engine struct {
 	mP2P         *metrics.Counter
 	mP2PPruned   *metrics.Counter
 	mP2PSettled  *metrics.Counter
+	mMutations   *metrics.Counter
+	mRepairedVec *metrics.Counter
 	gInFlight    *metrics.Gauge
 	gQueued      *metrics.Gauge
 	gCacheLen    *metrics.Gauge
@@ -154,8 +172,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		}
 	}
 	e := &Engine{
-		g:       g,
-		cfg:     cfg,
+		cfg:   cfg,
 		slots: make(chan int, cfg.MaxInFlight),
 		//acic:allow-unpadded each Scratch is its own heap allocation and its latch sees one CAS per query, not a hot shard
 		scratch: make([]*core.Scratch, cfg.MaxInFlight),
@@ -163,6 +180,7 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 		drained: make(chan struct{}),
 		met:     metrics.New(cfg.MaxInFlight),
 	}
+	e.version.Store(&graphVersion{g: g})
 	for i := 0; i < cfg.MaxInFlight; i++ {
 		e.scratch[i] = &core.Scratch{}
 		e.slots <- i
@@ -176,6 +194,8 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	e.mP2P = e.met.Counter("engine.p2p_queries")
 	e.mP2PPruned = e.met.Counter("engine.p2p_pruned_relaxations")
 	e.mP2PSettled = e.met.Counter("engine.p2p_settled")
+	e.mMutations = e.met.Counter("engine.mutations")
+	e.mRepairedVec = e.met.Counter("engine.repaired_vectors")
 	e.gInFlight = e.met.Gauge("engine.inflight")
 	e.gQueued = e.met.Gauge("engine.queued")
 	e.gCacheLen = e.met.Gauge("engine.cache_entries")
@@ -183,17 +203,23 @@ func New(g *graph.Graph, cfg Config) (*Engine, error) {
 	return e, nil
 }
 
-// Graph returns the engine's shared graph.
-func (e *Engine) Graph() *graph.Graph { return e.g }
+// Graph returns the engine's current graph snapshot. For a dynamic engine
+// this is the CSR of the latest applied epoch; mutations never touch a
+// returned snapshot.
+func (e *Engine) Graph() *graph.Graph { return e.version.Load().g }
 
-// Epoch returns the current graph epoch. Epochs key the cache; bumping the
-// epoch (InvalidateCache) makes every cached vector unreachable, which is
-// the hook the dynamic-graph roadmap item will drive on mutation batches.
-func (e *Engine) Epoch() uint64 { return e.epoch.Load() }
+// Epoch returns the current graph epoch. Epochs key the cache; every
+// Mutate batch (and every InvalidateCache call) advances it by one, making
+// stale vectors unreachable.
+func (e *Engine) Epoch() uint64 { return e.version.Load().epoch }
 
-// InvalidateCache advances the graph epoch and drops every cached vector.
+// InvalidateCache advances the graph epoch (same graph, new version) and
+// drops every cached vector.
 func (e *Engine) InvalidateCache() {
-	e.epoch.Add(1)
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+	old := e.version.Load()
+	e.version.Store(&graphVersion{epoch: old.epoch + 1, g: old.g})
 	e.cache.purge()
 	e.gCacheLen.Set(0, int64(e.cache.len()))
 }
@@ -228,11 +254,12 @@ type QueryResult struct {
 // control, with single-flight dedup) otherwise.
 func (e *Engine) Query(ctx context.Context, source int, opts QueryOptions) (*QueryResult, error) {
 	e.mQueries.Inc(0)
-	if source < 0 || source >= e.g.NumVertices() {
+	v := e.version.Load() // one load: epoch and graph stay a consistent pair
+	if source < 0 || source >= v.g.NumVertices() {
 		e.mErrors.Inc(0)
-		return nil, fmt.Errorf("%w: source %d not in [0,%d)", ErrBadVertex, source, e.g.NumVertices())
+		return nil, fmt.Errorf("%w: source %d not in [0,%d)", ErrBadVertex, source, v.g.NumVertices())
 	}
-	key := cacheKey{epoch: e.epoch.Load(), source: int32(source)}
+	key := cacheKey{epoch: v.epoch, source: int32(source)}
 
 	// Fast path: a resident or in-flight entry answers without admission.
 	if ent, ok := e.cache.get(key); ok {
@@ -273,15 +300,31 @@ func (e *Engine) Query(ctx context.Context, source int, opts QueryOptions) (*Que
 	defer e.releaseSlot(slot)
 	e.mMisses.Inc(slot)
 	start := time.Now()
-	res, snap, err := e.compute(source, slot, opts.CollectMetrics)
+	res, snap, err := e.compute(v.g, source, slot, opts.CollectMetrics)
 	e.hQueryMicros.Observe(slot, time.Since(start).Microseconds())
 	if err != nil {
 		e.mErrors.Inc(slot)
 		e.cache.fail(ent, err)
 		return nil, err
 	}
-	e.cache.complete(ent, res)
+	e.publish(ent, res)
 	return e.result(res, key, false, snap), nil
+}
+
+// publish completes ent for its waiters, then evicts it if the engine moved
+// past the entry's epoch while the computation ran. Without the eviction a
+// single-flight leader that loses a race with Mutate parks a stale vector
+// under an old epoch key: Mutate's purge ran before the leader completed, so
+// nothing would ever remove it, yet the LRU still counts it and a later
+// InvalidateCache-then-rollback pattern could resurface it. Waiters are
+// unaffected — they hold the entry pointer and their admission epoch equals
+// the entry's key epoch, so the result is exact for what they asked.
+func (e *Engine) publish(ent *cacheEntry, res *core.Result) {
+	e.cache.complete(ent, res)
+	if ent.key.epoch != e.version.Load().epoch {
+		e.cache.remove(ent)
+		e.gCacheLen.Set(0, int64(e.cache.len()))
+	}
 }
 
 func (e *Engine) result(res *core.Result, key cacheKey, hit bool, snap *metrics.Snapshot) *QueryResult {
@@ -296,8 +339,9 @@ func (e *Engine) result(res *core.Result, key cacheKey, hit bool, snap *metrics.
 	}
 }
 
-// compute runs the full ACIC machine for one source on slot's Scratch.
-func (e *Engine) compute(source, slot int, collectMetrics bool) (*core.Result, *metrics.Snapshot, error) {
+// compute runs the full ACIC machine for one source on slot's Scratch,
+// against the graph version the caller admitted under.
+func (e *Engine) compute(g *graph.Graph, source, slot int, collectMetrics bool) (*core.Result, *metrics.Snapshot, error) {
 	var reg *metrics.Registry
 	if collectMetrics {
 		topo := e.cfg.Topo
@@ -306,7 +350,7 @@ func (e *Engine) compute(source, slot int, collectMetrics bool) (*core.Result, *
 		}
 		reg = metrics.New(topo.TotalPEs())
 	}
-	res, err := core.Run(e.g, source, core.Options{
+	res, err := core.Run(g, source, core.Options{
 		Topo:    e.cfg.Topo,
 		Latency: e.cfg.Latency,
 		Params:  e.cfg.Params,
@@ -433,11 +477,12 @@ func (e *Engine) Health() Health {
 	if e.draining.Load() {
 		status = "draining"
 	}
+	v := e.version.Load()
 	return Health{
 		Status:       status,
-		Epoch:        e.epoch.Load(),
-		Vertices:     e.g.NumVertices(),
-		Edges:        e.g.NumEdges(),
+		Epoch:        v.epoch,
+		Vertices:     v.g.NumVertices(),
+		Edges:        v.g.NumEdges(),
 		PEs:          e.cfg.Topo.TotalPEs(),
 		InFlight:     e.InFlight(),
 		Queued:       e.queued.Load(),

@@ -5,6 +5,7 @@ package engine
 // httptest and reusable by future transports.
 //
 //	GET /sssp?source=S            single-source query
+//	POST /mutate                  apply a mutation batch (dynamic engines)
 //	GET /sssp?source=S&vertices=a,b,c   ...returning only those distances
 //	GET /sssp?source=S&limit=N    ...returning the first N distances
 //	GET /sssp?source=S&metrics=1  ...attaching a per-query metrics snapshot
@@ -24,6 +25,7 @@ import (
 	"strconv"
 	"strings"
 
+	"acic/internal/dynamic"
 	"acic/internal/metrics"
 )
 
@@ -35,6 +37,7 @@ func (e *Engine) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /sssp", e.handleSSSP)
 	mux.HandleFunc("GET /path", e.handlePath)
+	mux.HandleFunc("POST /mutate", e.handleMutate)
 	mux.HandleFunc("GET /healthz", e.handleHealthz)
 	mux.HandleFunc("GET /metrics", e.handleMetrics)
 	return mux
@@ -154,6 +157,68 @@ func (e *Engine) handlePath(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, resp)
 }
 
+// MutationJSON is one edge mutation on the wire. Op is "insert", "delete",
+// or "set_weight"; weight is ignored by deletes.
+type MutationJSON struct {
+	Op     string  `json:"op"`
+	From   int32   `json:"from"`
+	To     int32   `json:"to"`
+	Weight float64 `json:"weight"`
+}
+
+// MutateRequest is the POST /mutate payload.
+type MutateRequest struct {
+	Mutations []MutationJSON `json:"mutations"`
+}
+
+// MutateResponse is the POST /mutate reply.
+type MutateResponse struct {
+	Epoch             uint64 `json:"epoch"`
+	Inserted          int    `json:"inserted"`
+	Deleted           int    `json:"deleted"`
+	Reweighted        int    `json:"reweighted"`
+	Edges             int    `json:"edges"`
+	RepairedVectors   int    `json:"repaired_vectors"`
+	InvalidatedLabels int    `json:"invalidated_labels"`
+	ElapsedNS         int64  `json:"elapsed_ns"`
+}
+
+func (e *Engine) handleMutate(w http.ResponseWriter, r *http.Request) {
+	var req MutateRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"bad mutation body: " + err.Error()})
+		return
+	}
+	if len(req.Mutations) == 0 {
+		writeJSON(w, http.StatusBadRequest, errorResponse{"empty mutation batch"})
+		return
+	}
+	batch := make([]dynamic.Mutation, len(req.Mutations))
+	for i, m := range req.Mutations {
+		op, err := dynamic.ParseOp(m.Op)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+			return
+		}
+		batch[i] = dynamic.Mutation{Op: op, From: m.From, To: m.To, Weight: m.Weight}
+	}
+	mr, err := e.Mutate(batch)
+	if err != nil {
+		e.writeError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, MutateResponse{
+		Epoch:             mr.Epoch,
+		Inserted:          mr.Inserted,
+		Deleted:           mr.Deleted,
+		Reweighted:        mr.Reweighted,
+		Edges:             mr.Edges,
+		RepairedVectors:   mr.RepairedVectors,
+		InvalidatedLabels: mr.InvalidatedLabels,
+		ElapsedNS:         mr.Elapsed.Nanoseconds(),
+	})
+}
+
 func (e *Engine) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	h := e.Health()
 	code := http.StatusOK
@@ -173,8 +238,10 @@ func (e *Engine) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // writeError maps engine errors to HTTP status codes.
 func (e *Engine) writeError(w http.ResponseWriter, err error) {
 	switch {
-	case errors.Is(err, ErrBadVertex):
+	case errors.Is(err, ErrBadVertex), errors.Is(err, ErrBadMutation):
 		writeJSON(w, http.StatusBadRequest, errorResponse{err.Error()})
+	case errors.Is(err, ErrStaticGraph):
+		writeJSON(w, http.StatusNotImplemented, errorResponse{err.Error()})
 	case errors.Is(err, ErrSaturated):
 		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})

@@ -1,0 +1,138 @@
+package engine
+
+// Mutation support: a dynamic engine owns a dynamic.Graph alongside its CSR
+// version and applies batched edge mutations to it, advancing the engine
+// epoch once per batch. Resident cached distance vectors are not discarded —
+// they are repaired incrementally (dynamic.Repair) and re-homed under the
+// new epoch, so the query mix that was hot before a mutation stays hot after
+// it. Everything runs under mutMu; queries are never blocked, they just keep
+// reading the old version until the new one is published.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"time"
+
+	"acic/internal/core"
+	"acic/internal/dynamic"
+)
+
+// Mutation-path sentinels; the HTTP layer maps each to a status code.
+var (
+	// ErrStaticGraph is returned by Mutate on an engine built with New —
+	// there is no mutable graph to mutate. Maps to 501.
+	ErrStaticGraph = errors.New("engine: static graph, mutations unsupported")
+	// ErrBadMutation wraps a rejected mutation batch (out-of-range vertex,
+	// bad weight, missing edge). The graph and epoch are unchanged. Maps
+	// to 400.
+	ErrBadMutation = errors.New("engine: bad mutation batch")
+)
+
+// NewDynamic builds an engine whose graph can be mutated with Mutate. The
+// engine takes ownership of dg: callers must not Apply to it directly
+// afterwards. The engine epoch starts at 0 regardless of dg's own epoch
+// (the two counters advance in lockstep from here but are independent —
+// InvalidateCache advances only the engine's).
+func NewDynamic(dg *dynamic.Graph, cfg Config) (*Engine, error) {
+	if dg == nil {
+		return nil, errors.New("engine: nil dynamic graph")
+	}
+	e, err := New(dg.Snapshot(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.dg = dg
+	return e, nil
+}
+
+// Dynamic reports whether the engine accepts mutations.
+func (e *Engine) Dynamic() bool { return e.dg != nil }
+
+// MutateResult describes one applied batch.
+type MutateResult struct {
+	// Epoch is the engine epoch after the batch.
+	Epoch uint64
+	// Inserted/Deleted/Reweighted count the batch by op.
+	Inserted, Deleted, Reweighted int
+	// Edges is the graph's edge count after the batch.
+	Edges int
+	// RepairedVectors counts resident cached vectors repaired in place and
+	// carried over to the new epoch.
+	RepairedVectors int
+	// InvalidatedLabels totals the subtree labels discarded across those
+	// repairs (the increase-phase damage).
+	InvalidatedLabels int
+	// Elapsed is the wall time of apply + repair + publish.
+	Elapsed time.Duration
+}
+
+// Mutate applies one batch of edge mutations atomically: either the whole
+// batch lands, the engine epoch advances by exactly one, stale cache entries
+// are evicted, and every resident completed vector is incrementally repaired
+// and re-cached under the new epoch — or the batch is rejected
+// (ErrBadMutation) and graph, epoch, and cache are all unchanged.
+//
+// Concurrent queries are linearized at the version swap: a query admitted
+// before the swap reads the old (epoch, graph) pair and its result is exact
+// for that epoch; a query admitted after reads the new pair. No query ever
+// observes a vector from a different epoch than the one in its response.
+func (e *Engine) Mutate(batch []dynamic.Mutation) (*MutateResult, error) {
+	if e.dg == nil {
+		return nil, ErrStaticGraph
+	}
+	if e.draining.Load() {
+		return nil, ErrDraining
+	}
+	e.mutMu.Lock()
+	defer e.mutMu.Unlock()
+
+	start := time.Now()
+	old := e.version.Load()
+	// Harvest the vectors to carry over BEFORE mutating: entries that
+	// complete after this point are dropped by purgeStale (or evicted by
+	// their own leader's publish), never served stale.
+	resident := e.cache.completed(old.epoch)
+	sort.Slice(resident, func(i, j int) bool { return resident[i].key.source < resident[j].key.source })
+
+	d, err := e.dg.Apply(batch)
+	if err != nil {
+		return nil, fmt.Errorf("%w: %s", ErrBadMutation, err)
+	}
+	mr := &MutateResult{
+		Epoch:      old.epoch + 1,
+		Inserted:   d.Inserted,
+		Deleted:    d.Deleted,
+		Reweighted: d.Reweighted,
+		Edges:      e.dg.NumEdges(),
+	}
+
+	// Repair copies of the resident vectors against the post-batch graph.
+	// The cached slices are shared read-only with every response already
+	// handed out, so the repair must not write through them.
+	repaired := make([]*core.Result, len(resident))
+	for i, ent := range resident {
+		res := &core.Result{
+			Dist:   append([]float64(nil), ent.res.Dist...),
+			Parent: append([]int32(nil), ent.res.Parent...),
+			Stats:  ent.res.Stats,
+		}
+		st := e.dg.Repair(int(ent.key.source), res.Dist, res.Parent, d)
+		mr.InvalidatedLabels += st.Invalidated
+		repaired[i] = res
+	}
+
+	// Publish: swap the version, drop everything stale, re-home the
+	// repaired vectors. Queries admitted from here on see the new epoch.
+	e.version.Store(&graphVersion{epoch: mr.Epoch, g: e.dg.Snapshot()})
+	e.cache.purgeStale(mr.Epoch)
+	for i, ent := range resident {
+		e.cache.put(cacheKey{epoch: mr.Epoch, source: ent.key.source}, repaired[i])
+	}
+	mr.RepairedVectors = len(repaired)
+	e.gCacheLen.Set(0, int64(e.cache.len()))
+	e.mMutations.Inc(0)
+	e.mRepairedVec.Add(0, int64(len(repaired)))
+	mr.Elapsed = time.Since(start)
+	return mr, nil
+}

@@ -1,0 +1,409 @@
+package engine
+
+// Mutation-path tests: basic Mutate semantics, the cache-coherence contract
+// under concurrent queries and mutations (run these under -race), and the
+// regression for the single-flight leader that loses a race with Mutate.
+
+import (
+	"context"
+	"errors"
+	"math"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+
+	"acic/internal/dynamic"
+	"acic/internal/gen"
+	"acic/internal/graph"
+	"acic/internal/seq"
+	"acic/internal/xrand"
+)
+
+func mustDynamicEngine(t *testing.T, g *graph.Graph, cfg Config) (*Engine, *dynamic.Graph) {
+	t.Helper()
+	dg := dynamic.FromCSR(g)
+	e, err := NewDynamic(dg, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e, dg
+}
+
+// TestMutateRepairsResidentVectors: a cached vector must survive a mutation
+// batch as a cache hit at the new epoch, with distances exact for the
+// post-mutation graph.
+func TestMutateRepairsResidentVectors(t *testing.T) {
+	g := testGraph()
+	e, _ := mustDynamicEngine(t, g, Config{})
+	ctx := context.Background()
+
+	if !e.Dynamic() {
+		t.Fatal("NewDynamic engine reports static")
+	}
+	first, err := e.Query(ctx, 3, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Epoch != 0 {
+		t.Fatalf("fresh engine at epoch %d", first.Epoch)
+	}
+
+	batch := []dynamic.Mutation{
+		{Op: dynamic.Insert, From: 3, To: 390, Weight: 0.25},
+		{Op: dynamic.Insert, From: 390, To: 391, Weight: 0.25},
+	}
+	mr, err := e.Mutate(batch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr.Epoch != 1 || e.Epoch() != 1 {
+		t.Fatalf("epoch after mutate: result %d, engine %d", mr.Epoch, e.Epoch())
+	}
+	if mr.Inserted != 2 || mr.RepairedVectors != 1 {
+		t.Fatalf("unexpected mutate result %+v", mr)
+	}
+	if mr.Edges != g.NumEdges()+2 || e.Graph().NumEdges() != g.NumEdges()+2 {
+		t.Fatalf("edge count %d / %d, want %d", mr.Edges, e.Graph().NumEdges(), g.NumEdges()+2)
+	}
+
+	second, err := e.Query(ctx, 3, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !second.CacheHit {
+		t.Fatal("repaired vector did not serve as a cache hit")
+	}
+	if second.Epoch != 1 {
+		t.Fatalf("post-mutation query at epoch %d", second.Epoch)
+	}
+	oracle := seq.Dijkstra(e.Graph(), 3)
+	if i := seq.FirstMismatch(second.Dist, oracle.Dist); i >= 0 {
+		t.Fatalf("repaired vector wrong at %d: %g want %g", i, second.Dist[i], oracle.Dist[i])
+	}
+	if second.Dist[390] != 0.25 || second.Dist[391] != 0.5 {
+		t.Fatalf("inserted edges not reflected: dist[390]=%g dist[391]=%g", second.Dist[390], second.Dist[391])
+	}
+	// The pre-mutation response must be untouched: repair works on copies.
+	if first.Dist[390] == 0.25 && first.Dist[391] == 0.5 {
+		t.Fatal("mutation wrote through the old epoch's response")
+	}
+}
+
+// TestMutateRejectsBadBatch: a rejected batch changes nothing — epoch,
+// graph, and cache all stay put.
+func TestMutateRejectsBadBatch(t *testing.T) {
+	g := testGraph()
+	e, _ := mustDynamicEngine(t, g, Config{})
+	if _, err := e.Query(context.Background(), 7, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	_, err := e.Mutate([]dynamic.Mutation{
+		{Op: dynamic.Insert, From: 0, To: 1, Weight: 1},
+		{Op: dynamic.Insert, From: 0, To: 99999, Weight: 1}, // out of range
+	})
+	if !errors.Is(err, ErrBadMutation) {
+		t.Fatalf("err = %v, want ErrBadMutation", err)
+	}
+	if e.Epoch() != 0 {
+		t.Fatalf("failed batch advanced epoch to %d", e.Epoch())
+	}
+	if e.Graph().NumEdges() != g.NumEdges() {
+		t.Fatal("failed batch left edges behind")
+	}
+	res, err := e.Query(context.Background(), 7, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit || res.Epoch != 0 {
+		t.Fatalf("cache lost after failed batch: hit=%v epoch=%d", res.CacheHit, res.Epoch)
+	}
+}
+
+// TestMutateStaticEngine: engines built with New have no mutation path.
+func TestMutateStaticEngine(t *testing.T) {
+	e := mustEngine(t, testGraph(), Config{})
+	if e.Dynamic() {
+		t.Fatal("static engine reports dynamic")
+	}
+	if _, err := e.Mutate([]dynamic.Mutation{{Op: dynamic.Insert, From: 0, To: 1, Weight: 1}}); !errors.Is(err, ErrStaticGraph) {
+		t.Fatalf("err = %v, want ErrStaticGraph", err)
+	}
+}
+
+// TestCacheCoherenceUnderMutation is the satellite race test: concurrent
+// queries racing a stream of mutation batches must never observe a
+// stale-epoch vector — every response's epoch is at least the epoch current
+// when the query was admitted, and its distances are exact for the graph at
+// the response's epoch. Run under -race in CI.
+func TestCacheCoherenceUnderMutation(t *testing.T) {
+	g := gen.Uniform(200, 800, gen.Config{Seed: 21, MaxWeight: 50})
+	e, _ := mustDynamicEngine(t, g, Config{MaxInFlight: 4, MaxQueue: 64})
+	ctx := context.Background()
+
+	// Oracle graphs per epoch, recorded as mutations land. Engine snapshots
+	// are immutable, so retaining them is safe.
+	var oracleMu sync.Mutex
+	oracle := map[uint64]*graph.Graph{0: e.Graph()}
+
+	const readers = 8
+	const queriesPerReader = 40
+	const batches = 25
+
+	type obs struct {
+		admitted uint64
+		res      *QueryResult
+	}
+	observations := make([][]obs, readers)
+
+	var wg sync.WaitGroup
+	for i := 0; i < readers; i++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			r := xrand.New(uint64(id) + 1)
+			for q := 0; q < queriesPerReader; q++ {
+				admitted := e.Epoch()
+				res, err := e.Query(ctx, r.Intn(200), QueryOptions{})
+				if err != nil {
+					t.Errorf("reader %d: %v", id, err)
+					return
+				}
+				observations[id] = append(observations[id], obs{admitted, res})
+			}
+		}(i)
+	}
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		r := xrand.New(99)
+		dg2 := dynamic.FromCSR(g) // shadow copy only to drive the generator
+		bg := dynamic.NewBatchGen(dg2, r, 50)
+		for b := 0; b < batches; b++ {
+			batch := bg.Next(1 + r.Intn(4))
+			if _, err := dg2.Apply(batch); err != nil {
+				t.Errorf("writer: shadow apply: %v", err)
+				return
+			}
+			mr, err := e.Mutate(batch)
+			if err != nil {
+				t.Errorf("writer: %v", err)
+				return
+			}
+			oracleMu.Lock()
+			oracle[mr.Epoch] = e.Graph()
+			oracleMu.Unlock()
+		}
+	}()
+	wg.Wait()
+	if t.Failed() {
+		return
+	}
+
+	// Validate after the fact so readers stay fast while racing.
+	checked := map[uint64]map[int][]float64{}
+	for id := range observations {
+		for _, o := range observations[id] {
+			if o.res.Epoch < o.admitted {
+				t.Fatalf("reader %d: response epoch %d < admission epoch %d", id, o.res.Epoch, o.admitted)
+			}
+			og, ok := oracle[o.res.Epoch]
+			if !ok {
+				t.Fatalf("reader %d: response epoch %d never existed", id, o.res.Epoch)
+			}
+			bysrc, ok := checked[o.res.Epoch]
+			if !ok {
+				bysrc = map[int][]float64{}
+				checked[o.res.Epoch] = bysrc
+			}
+			want, ok := bysrc[o.res.Source]
+			if !ok {
+				want = seq.Dijkstra(og, o.res.Source).Dist
+				bysrc[o.res.Source] = want
+			}
+			if i := seq.FirstMismatch(want, o.res.Dist); i >= 0 {
+				t.Fatalf("reader %d: epoch %d source %d: dist[%d] = %g, want %g (stale vector)",
+					id, o.res.Epoch, o.res.Source, i, o.res.Dist[i], want[i])
+			}
+		}
+	}
+}
+
+// TestPublishEvictsStaleLeader is the regression for the single-flight race:
+// a leader that admits under epoch N, then loses a race with Mutate (which
+// bumps to N+1 and purges), must not park its vector in the cache under the
+// dead key N. Its own waiters still get the result.
+func TestPublishEvictsStaleLeader(t *testing.T) {
+	g := testGraph()
+	e, _ := mustDynamicEngine(t, g, Config{})
+	ctx := context.Background()
+
+	// Become the single-flight leader for (epoch 0, source 5) by hand.
+	slot, err := e.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := cacheKey{epoch: 0, source: 5}
+	ent, leader := e.cache.getOrCreate(key)
+	if !leader {
+		t.Fatal("setup: not the leader")
+	}
+	res, _, err := e.compute(e.Graph(), 5, slot, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The mutation lands while "our computation" is in flight.
+	if _, err := e.Mutate([]dynamic.Mutation{{Op: dynamic.Insert, From: 1, To: 2, Weight: 1}}); err != nil {
+		t.Fatal(err)
+	}
+
+	e.publish(ent, res)
+	e.releaseSlot(slot)
+
+	select {
+	case <-ent.ready:
+		if ent.err != nil || ent.res == nil {
+			t.Fatal("waiters lost the leader's result")
+		}
+	default:
+		t.Fatal("publish did not complete the entry")
+	}
+	if _, ok := e.cache.get(key); ok {
+		t.Fatal("stale-epoch vector cached under the old key after publish")
+	}
+
+	// Control: with no racing mutation the published entry stays resident.
+	slot, err = e.admit(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key2 := cacheKey{epoch: e.Epoch(), source: 6}
+	ent2, leader := e.cache.getOrCreate(key2)
+	if !leader {
+		t.Fatal("setup: not the leader for control key")
+	}
+	res2, _, err := e.compute(e.Graph(), 6, slot, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	e.publish(ent2, res2)
+	e.releaseSlot(slot)
+	if _, ok := e.cache.get(key2); !ok {
+		t.Fatal("current-epoch publish was evicted")
+	}
+}
+
+// TestMutateHTTPRoundTrip drives POST /mutate through the handler: a good
+// batch bumps the epoch and reroutes /path answers; bad batches and static
+// engines map to 400/501.
+func TestMutateHTTPRoundTrip(t *testing.T) {
+	g := graph.MustBuild(4, []graph.Edge{
+		{From: 0, To: 1, Weight: 1},
+		{From: 1, To: 2, Weight: 1},
+		{From: 2, To: 3, Weight: 1},
+	})
+	e, _ := mustDynamicEngine(t, g, Config{})
+	srv := httptest.NewServer(e.Handler())
+	defer srv.Close()
+
+	post := func(body string) (int, string) {
+		t.Helper()
+		resp, err := srv.Client().Post(srv.URL+"/mutate", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var sb strings.Builder
+		buf := make([]byte, 4096)
+		for {
+			n, err := resp.Body.Read(buf)
+			sb.Write(buf[:n])
+			if err != nil {
+				break
+			}
+		}
+		return resp.StatusCode, sb.String()
+	}
+
+	code, body := post(`{"mutations":[{"op":"insert","from":0,"to":3,"weight":0.5}]}`)
+	if code != 200 || !strings.Contains(body, `"epoch":1`) || !strings.Contains(body, `"inserted":1`) {
+		t.Fatalf("good batch: code %d body %s", code, body)
+	}
+	pr, err := e.Path(context.Background(), 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !pr.Reachable || pr.Distance != 0.5 || pr.Epoch != 1 {
+		t.Fatalf("path after mutate: %+v", pr)
+	}
+
+	if code, _ := post(`{"mutations":[{"op":"delete","from":0,"to":2}]}`); code != 400 {
+		t.Fatalf("missing edge delete: code %d, want 400", code)
+	}
+	if code, _ := post(`{"mutations":[{"op":"warp","from":0,"to":1}]}`); code != 400 {
+		t.Fatalf("unknown op: code %d, want 400", code)
+	}
+	if code, _ := post(`{"mutations":[]}`); code != 400 {
+		t.Fatalf("empty batch: code %d, want 400", code)
+	}
+	if code, _ := post(`{`); code != 400 {
+		t.Fatalf("bad json: code %d, want 400", code)
+	}
+	if e.Epoch() != 1 {
+		t.Fatalf("rejected batches moved the epoch to %d", e.Epoch())
+	}
+
+	static := mustEngine(t, g, Config{})
+	srv2 := httptest.NewServer(static.Handler())
+	defer srv2.Close()
+	resp, err := srv2.Client().Post(srv2.URL+"/mutate", "application/json",
+		strings.NewReader(`{"mutations":[{"op":"insert","from":0,"to":1,"weight":1}]}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 501 {
+		t.Fatalf("static engine mutate: code %d, want 501", resp.StatusCode)
+	}
+}
+
+// TestMutateWhileDraining: mutations are rejected once Close has begun.
+func TestMutateWhileDraining(t *testing.T) {
+	e, _ := mustDynamicEngine(t, testGraph(), Config{})
+	if err := e.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.Mutate([]dynamic.Mutation{{Op: dynamic.Insert, From: 0, To: 1, Weight: 1}}); !errors.Is(err, ErrDraining) {
+		t.Fatalf("err = %v, want ErrDraining", err)
+	}
+}
+
+// TestInvalidateCacheKeepsGraph: the epoch advances, the cache empties, and
+// the same graph keeps serving (now recomputed).
+func TestInvalidateCacheKeepsGraph(t *testing.T) {
+	e, _ := mustDynamicEngine(t, testGraph(), Config{})
+	ctx := context.Background()
+	if _, err := e.Query(ctx, 11, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	gBefore := e.Graph()
+	e.InvalidateCache()
+	if e.Epoch() != 1 {
+		t.Fatalf("epoch %d after invalidate", e.Epoch())
+	}
+	if e.Graph() != gBefore {
+		t.Fatal("invalidate swapped the graph")
+	}
+	res, err := e.Query(ctx, 11, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.CacheHit {
+		t.Fatal("cache survived invalidation")
+	}
+	if math.IsInf(res.Dist[11], 1) {
+		t.Fatal("source unreachable from itself")
+	}
+}

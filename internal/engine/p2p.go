@@ -47,7 +47,8 @@ type PathResult struct {
 func (e *Engine) Path(ctx context.Context, source, target int) (*PathResult, error) {
 	e.mQueries.Inc(0)
 	e.mP2P.Inc(0)
-	n := e.g.NumVertices()
+	ver := e.version.Load() // one load: epoch and graph stay a consistent pair
+	n := ver.g.NumVertices()
 	if source < 0 || source >= n {
 		e.mErrors.Inc(0)
 		return nil, fmt.Errorf("%w: source %d not in [0,%d)", ErrBadVertex, source, n)
@@ -56,7 +57,7 @@ func (e *Engine) Path(ctx context.Context, source, target int) (*PathResult, err
 		e.mErrors.Inc(0)
 		return nil, fmt.Errorf("%w: target %d not in [0,%d)", ErrBadVertex, target, n)
 	}
-	epoch := e.epoch.Load()
+	epoch := ver.epoch
 	key := cacheKey{epoch: epoch, source: int32(source)}
 
 	// A completed cached vector answers without admission or search. An
@@ -88,7 +89,7 @@ func (e *Engine) Path(ctx context.Context, source, target int) (*PathResult, err
 	}
 	defer e.releaseSlot(slot)
 	start := time.Now()
-	pr := goalDijkstra(e.g, source, target)
+	pr := goalDijkstra(ver.g, source, target)
 	e.hQueryMicros.Observe(slot, time.Since(start).Microseconds())
 	pr.Epoch = epoch
 	e.mP2PPruned.Add(slot, pr.Pruned)

@@ -1,0 +1,121 @@
+package stress
+
+// The churn workload: an edge-mutation stream over a dynamic graph,
+// oracle-validated after every batch (ISSUE satellite: the epoch oracle
+// harness). Each run drives two consumers off one deterministic mutation
+// stream:
+//
+//   - A bare dynamic.Graph with a few tracked sources, repaired in place
+//     after every batch and checked against a sequential Dijkstra recompute
+//     of the post-batch snapshot — distances exactly, the parent tree by
+//     tightness certificate (VerifyTree).
+//
+//   - An engine.NewDynamic instance fed the same batches through Mutate,
+//     with the tracked sources queried each epoch: responses must carry the
+//     current epoch, hit the repaired cache, and match the same oracle.
+//
+// A failing (seed, batch) pair replays through the normal -run mechanism:
+// the spec's seed fully determines the graph, the sources, and the stream.
+
+import (
+	"context"
+	"fmt"
+
+	"acic/internal/dynamic"
+	"acic/internal/engine"
+	"acic/internal/seq"
+	"acic/internal/xrand"
+)
+
+// churnStress executes one churn run: spec.Seed determines everything.
+func churnStress(spec Spec, short bool) error {
+	r := xrand.New(spec.Seed)
+	g := buildGraph(spec.Graph, r, short)
+	n := g.NumVertices()
+
+	numSources, epochs := 3, 12
+	if short {
+		numSources, epochs = 2, 6
+	}
+	sources := make([]int, numSources)
+	for i := range sources {
+		sources[i] = r.Intn(n)
+	}
+
+	// The repaired-in-place replica.
+	dg := dynamic.FromCSR(g)
+	dists := make([][]float64, numSources)
+	parents := make([][]int32, numSources)
+	for i, src := range sources {
+		dists[i], parents[i] = dg.SSSP(src)
+	}
+
+	// The engine consumer, over its own copy of the same initial graph.
+	eng, err := engine.NewDynamic(dynamic.FromCSR(g), engine.Config{MaxInFlight: 2, CacheEntries: 16})
+	if err != nil {
+		return fmt.Errorf("churn: engine: %w", err)
+	}
+	defer eng.Close(context.Background())
+	ctx := context.Background()
+	for _, src := range sources {
+		if _, err := eng.Query(ctx, src, engine.QueryOptions{}); err != nil {
+			return fmt.Errorf("churn: warmup query source %d: %w", src, err)
+		}
+	}
+
+	bg := dynamic.NewBatchGen(dg, r, 100)
+	for epoch := 1; epoch <= epochs; epoch++ {
+		batch := bg.Next(1 + r.Intn(8))
+		d, err := dg.Apply(batch)
+		if err != nil {
+			return fmt.Errorf("churn: epoch %d: apply: %w (batch %v)", epoch, err, batch)
+		}
+		if dg.Epoch() != uint64(epoch) {
+			return fmt.Errorf("churn: epoch %d: graph reports epoch %d", epoch, dg.Epoch())
+		}
+		snap := dg.Snapshot()
+
+		// Oracle the repaired replica per source, per epoch.
+		for i, src := range sources {
+			dg.Repair(src, dists[i], parents[i], d)
+			want := seq.Dijkstra(snap, src)
+			if j := seq.FirstMismatch(want.Dist, dists[i]); j >= 0 {
+				return fmt.Errorf("churn: epoch %d source %d: repaired dist[%d] = %g, want %g (batch %v)",
+					epoch, src, j, dists[i][j], want.Dist[j], batch)
+			}
+			if err := dynamic.VerifyTree(dg, src, dists[i], parents[i]); err != nil {
+				return fmt.Errorf("churn: epoch %d source %d: %w (batch %v)", epoch, src, err, batch)
+			}
+		}
+
+		// Same batch through the engine; epochs must stay in lockstep and
+		// the repaired vectors must serve as current-epoch cache hits.
+		mr, err := eng.Mutate(batch)
+		if err != nil {
+			return fmt.Errorf("churn: epoch %d: engine mutate: %w (batch %v)", epoch, err, batch)
+		}
+		if mr.Epoch != uint64(epoch) {
+			return fmt.Errorf("churn: epoch %d: engine at epoch %d after mutate", epoch, mr.Epoch)
+		}
+		if mr.Edges != dg.NumEdges() {
+			return fmt.Errorf("churn: epoch %d: engine has %d edges, replica %d", epoch, mr.Edges, dg.NumEdges())
+		}
+		for i, src := range sources {
+			res, err := eng.Query(ctx, src, engine.QueryOptions{})
+			if err != nil {
+				return fmt.Errorf("churn: epoch %d: query source %d: %w", epoch, src, err)
+			}
+			if res.Epoch != uint64(epoch) {
+				return fmt.Errorf("churn: epoch %d: response for source %d carries epoch %d", epoch, src, res.Epoch)
+			}
+			if !res.CacheHit {
+				return fmt.Errorf("churn: epoch %d: source %d missed the repaired cache", epoch, src)
+			}
+			if j := seq.FirstMismatch(dists[i], res.Dist); j >= 0 {
+				return fmt.Errorf("churn: epoch %d source %d: engine dist[%d] = %g, want %g (batch %v)",
+					epoch, src, j, res.Dist[j], dists[i][j], batch)
+			}
+		}
+	}
+	return nil
+}

@@ -42,6 +42,11 @@ type Options struct {
 	// acic-with-reliability sub-matrix; nil means Faults(). The literal
 	// element FaultNone disables that sub-matrix entirely.
 	Faults []Fault
+	// Churn selects the dynamic-graph churn sub-matrix: ChurnOn (the
+	// default, also selected by the zero value) includes it alongside the
+	// classic matrix, ChurnOff drops it, ChurnOnly runs nothing else — the
+	// CI churn smoke stage.
+	Churn ChurnMode
 	// Short shrinks the matrix and the graphs for a CI-speed smoke pass.
 	Short bool
 	// Only, when non-nil, replays exactly one run index from the
@@ -101,9 +106,30 @@ type Report struct {
 }
 
 // Algorithms lists the six drivers the matrix exercises, plus the raw
-// fabric hammer that stresses the delay-queue layer beneath them.
+// fabric hammer that stresses the delay-queue layer beneath them. The
+// churn workload (churn.go) rides the same enumeration under algo "churn".
 func Algorithms() []string {
 	return []string{"fabric", "acic", "deltastep", "delta2d", "distctrl", "kla", "cc"}
+}
+
+// ChurnMode selects how the churn sub-matrix participates in a run.
+type ChurnMode string
+
+const (
+	ChurnOn   ChurnMode = "on"
+	ChurnOff  ChurnMode = "off"
+	ChurnOnly ChurnMode = "only"
+)
+
+// ParseChurn maps a flag value to a ChurnMode; "" means ChurnOn.
+func ParseChurn(s string) (ChurnMode, error) {
+	switch ChurnMode(s) {
+	case "", ChurnOn:
+		return ChurnOn, nil
+	case ChurnOff, ChurnOnly:
+		return ChurnMode(s), nil
+	}
+	return "", fmt.Errorf("stress: unknown churn mode %q (want on, off, or only)", s)
 }
 
 func topoByName(name string) netsim.Topology {
@@ -144,6 +170,14 @@ func enumerate(opts Options) []Spec {
 		faultGraphs = []string{"uniform"}
 		faultProfiles = []Profile{ProfileNone}
 	}
+	churnGraphs := []string{"uniform", "rmat", "grid"}
+	if opts.Short {
+		churnGraphs = []string{"uniform"}
+	}
+	churn := opts.Churn
+	if churn == "" {
+		churn = ChurnOn
+	}
 	rounds := opts.Rounds
 	if rounds <= 0 {
 		rounds = 1
@@ -155,35 +189,45 @@ func enumerate(opts Options) []Spec {
 		specs = append(specs, Spec{Index: idx, Algo: algo, Graph: graphName, Topo: topoName, Profile: p, Fault: f, Seed: seed})
 	}
 	for r := 0; r < rounds; r++ {
-		for _, p := range profiles {
-			// The fabric hammer runs once per profile per round, plus the
-			// tightest-timing zero-latency case.
-			add("fabric", "-", "paper1", p, FaultNone)
-		}
-		add("fabric", "-", "paper1", ProfileNone, FaultNone)
-		for _, algo := range Algorithms()[1:] {
-			for _, topoName := range topos {
-				for _, graphName := range graphs {
-					for _, p := range profiles {
-						add(algo, graphName, topoName, p, FaultNone)
+		if churn != ChurnOnly {
+			for _, p := range profiles {
+				// The fabric hammer runs once per profile per round, plus the
+				// tightest-timing zero-latency case.
+				add("fabric", "-", "paper1", p, FaultNone)
+			}
+			add("fabric", "-", "paper1", ProfileNone, FaultNone)
+			for _, algo := range Algorithms()[1:] {
+				for _, topoName := range topos {
+					for _, graphName := range graphs {
+						for _, p := range profiles {
+							add(algo, graphName, topoName, p, FaultNone)
+						}
+					}
+				}
+			}
+			// The lossy-fabric sub-matrix: acic over an actively hostile fabric
+			// (drop/dup/reorder filters) with the relnet reliability layer
+			// healing it. Same oracle, same conservation audit — now over the
+			// extended ledger identity with retransmit and dedup columns.
+			for _, f := range faults {
+				if f == FaultNone {
+					continue
+				}
+				for _, topoName := range faultTopos {
+					for _, graphName := range faultGraphs {
+						for _, p := range faultProfiles {
+							add("acic", graphName, topoName, p, f)
+						}
 					}
 				}
 			}
 		}
-		// The lossy-fabric sub-matrix: acic over an actively hostile fabric
-		// (drop/dup/reorder filters) with the relnet reliability layer
-		// healing it. Same oracle, same conservation audit — now over the
-		// extended ledger identity with retransmit and dedup columns.
-		for _, f := range faults {
-			if f == FaultNone {
-				continue
-			}
-			for _, topoName := range faultTopos {
-				for _, graphName := range faultGraphs {
-					for _, p := range faultProfiles {
-						add("acic", graphName, topoName, p, f)
-					}
-				}
+		// The churn sub-matrix: mutation streams over dynamic graphs,
+		// oracle-validated per epoch (churn.go). Jitter profiles and fault
+		// injection do not apply — the mutation path is synchronous.
+		if churn != ChurnOff {
+			for _, graphName := range churnGraphs {
+				add("churn", graphName, "single4", ProfileNone, FaultNone)
 			}
 		}
 	}
@@ -234,6 +278,9 @@ func Run(opts Options) (Report, error) {
 		if _, err := ParseFault(string(f)); err != nil {
 			return Report{}, err
 		}
+	}
+	if _, err := ParseChurn(string(opts.Churn)); err != nil {
+		return Report{}, err
 	}
 	specs := enumerate(opts)
 	if opts.Only != nil && (*opts.Only < 0 || *opts.Only >= len(specs)) {
@@ -310,6 +357,9 @@ func (s Spec) faulted() bool { return s.Fault != "" && s.Fault != FaultNone }
 func runSpec(spec Spec, short bool) error {
 	if spec.Algo == "fabric" {
 		return fabricStress(spec.Seed, spec.Profile, short)
+	}
+	if spec.Algo == "churn" {
+		return churnStress(spec, short)
 	}
 	topo, g, src, jit, fp := specInputs(spec, short)
 	lat := netsim.DefaultLatency()

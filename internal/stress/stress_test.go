@@ -136,8 +136,10 @@ func TestRunRejectsBadFault(t *testing.T) {
 // and Faults: []Fault{FaultNone} disables the sub-matrix without disturbing
 // the classic specs' indices or seeds.
 func TestFaultMatrixEnumeration(t *testing.T) {
-	with := enumerate(Options{Seed: 42, Short: true})
-	without := enumerate(Options{Seed: 42, Short: true, Faults: []Fault{FaultNone}})
+	// Churn off: this test pins the fault sub-matrix as the enumeration's
+	// suffix; the churn sub-matrix rides after it and has its own test.
+	with := enumerate(Options{Seed: 42, Short: true, Churn: ChurnOff})
+	without := enumerate(Options{Seed: 42, Short: true, Churn: ChurnOff, Faults: []Fault{FaultNone}})
 	if len(with) <= len(without) {
 		t.Fatalf("fault sub-matrix added no runs: %d vs %d", len(with), len(without))
 	}
@@ -163,6 +165,52 @@ func TestFaultMatrixEnumeration(t *testing.T) {
 		if !seen[f] {
 			t.Errorf("short fault sub-matrix never enumerates %s", f)
 		}
+	}
+}
+
+// TestChurnMatrixEnumeration pins the churn sub-matrix's shape: ChurnOn
+// appends churn specs after the classic+fault matrix without disturbing
+// their indices or seeds, ChurnOff removes exactly those specs, and
+// ChurnOnly enumerates nothing else.
+func TestChurnMatrixEnumeration(t *testing.T) {
+	on := enumerate(Options{Seed: 42, Short: true})
+	off := enumerate(Options{Seed: 42, Short: true, Churn: ChurnOff})
+	only := enumerate(Options{Seed: 42, Short: true, Churn: ChurnOnly})
+	if len(on) != len(off)+len(only) {
+		t.Fatalf("matrix sizes: on=%d off=%d only=%d", len(on), len(off), len(only))
+	}
+	for i := range off {
+		if on[i] != off[i] {
+			t.Fatalf("classic spec %d disturbed by churn sub-matrix: %+v vs %+v", i, on[i], off[i])
+		}
+	}
+	for _, s := range on[len(off):] {
+		if s.Algo != "churn" {
+			t.Errorf("churn suffix contains non-churn spec: %+v", s)
+		}
+		if s.Profile != ProfileNone || s.faulted() {
+			t.Errorf("churn spec with jitter or faults: %+v", s)
+		}
+	}
+	for _, s := range only {
+		if s.Algo != "churn" {
+			t.Errorf("ChurnOnly enumerated %+v", s)
+		}
+	}
+	if _, err := Run(Options{Seed: 1, Churn: "bogus"}); err == nil {
+		t.Error("bad churn mode accepted")
+	}
+}
+
+// TestChurnRunSmoke executes one churn run end to end through the harness.
+func TestChurnRunSmoke(t *testing.T) {
+	only := 0
+	rep, err := Run(Options{Seed: 3, Short: true, Churn: ChurnOnly, Only: &only})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 1 || len(rep.Failures) != 0 {
+		t.Fatalf("churn run: total %d failures %v", rep.Total, rep.Failures)
 	}
 }
 

@@ -51,6 +51,15 @@ echo "== schedule-stress harness (short matrix, incl. fault sub-matrix) =="
 go run ./cmd/acic-stress -short
 go run -race ./cmd/acic-stress -short -seed 2
 
+echo "== churn smoke (edge-mutation streams, oracle-validated per epoch) =="
+# The churn sub-matrix drives mutation batches through both a bare
+# dynamic.Graph (repaired in place) and an engine.NewDynamic instance,
+# checking every epoch against a sequential Dijkstra recompute. The full
+# (non-short) graphs keep the subtree-invalidation path hot; the -race pass
+# guards the engine's version-swap and cache-repair concurrency.
+go run ./cmd/acic-stress -churn only -runs 2
+go run -race ./cmd/acic-stress -short -churn only -seed 3
+
 echo "== query-service smoke (daemon: concurrent sssp+path, cache hit, 429 shed, graceful drain) =="
 # TestDaemonSmoke builds the real acic-serve binary, starts it, issues
 # concurrent single-source and point-to-point queries (oracle-checked),
