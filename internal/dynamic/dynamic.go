@@ -165,6 +165,19 @@ type Delta struct {
 // Empty reports whether the delta requires no repair work.
 func (d *Delta) Empty() bool { return len(d.Decreased) == 0 && len(d.Increased) == 0 }
 
+// inverse is one rollback record for Apply. Every inverse identifies its
+// edge by weight, never by slot: an intervening Delete's swapRemove reorders
+// adjacency lists, so "first from→to occurrence" can point at a different
+// parallel edge by rollback time. For a SetWeight inverse, matchW is the
+// weight the mutation wrote (what the edge holds now) and w is the weight to
+// restore; for Insert/Delete inverses, w alone identifies the edge.
+type inverse struct {
+	op       Op
+	from, to int32
+	w        float64
+	matchW   float64
+}
+
 // Apply executes one mutation batch atomically: either every mutation is
 // applied, the epoch advances by exactly one, and the classified Delta is
 // returned — or the first invalid mutation rolls the already-applied prefix
@@ -172,19 +185,19 @@ func (d *Delta) Empty() bool { return len(d.Decreased) == 0 && len(d.Increased) 
 // apply in order, so a batch may insert an edge and then delete it.
 func (g *Graph) Apply(batch []Mutation) (*Delta, error) {
 	d := &Delta{}
-	applied := make([]Mutation, 0, len(batch)) // inverse ops, for rollback
+	applied := make([]inverse, 0, len(batch)) // inverse ops, for rollback
 	rollback := func() {
 		for i := len(applied) - 1; i >= 0; i-- {
 			inv := applied[i]
-			switch inv.Op {
+			switch inv.op {
 			case Insert:
-				g.insertEdge(inv.From, inv.To, inv.Weight)
+				g.insertEdge(inv.from, inv.to, inv.w)
 			case Delete:
-				if !g.removeEdgeW(inv.From, inv.To, inv.Weight) {
-					panic("dynamic: rollback lost an edge") // unreachable: inverses are exact
+				if !g.removeEdgeW(inv.from, inv.to, inv.w) {
+					panic("dynamic: rollback lost an edge") // unreachable: inverses are weight-exact
 				}
 			case SetWeight:
-				if _, ok := g.setWeight(inv.From, inv.To, inv.Weight); !ok {
+				if !g.setWeightW(inv.from, inv.to, inv.matchW, inv.w) {
 					panic("dynamic: rollback lost an edge")
 				}
 			}
@@ -203,7 +216,7 @@ func (g *Graph) Apply(batch []Mutation) (*Delta, error) {
 				return nil, fmt.Errorf("dynamic: batch[%d] %s: bad weight", i, m)
 			}
 			g.insertEdge(m.From, m.To, m.Weight)
-			applied = append(applied, Mutation{Op: Delete, From: m.From, To: m.To, Weight: m.Weight})
+			applied = append(applied, inverse{op: Delete, from: m.From, to: m.To, w: m.Weight})
 			d.Inserted++
 			d.Decreased = append(d.Decreased, graph.Edge{From: m.From, To: m.To, Weight: m.Weight})
 		case Delete:
@@ -212,7 +225,7 @@ func (g *Graph) Apply(batch []Mutation) (*Delta, error) {
 				rollback()
 				return nil, fmt.Errorf("%w: batch[%d] %s", ErrEdgeNotFound, i, m)
 			}
-			applied = append(applied, Mutation{Op: Insert, From: m.From, To: m.To, Weight: w})
+			applied = append(applied, inverse{op: Insert, from: m.From, to: m.To, w: w})
 			d.Deleted++
 			d.Increased = append(d.Increased, graph.Edge{From: m.From, To: m.To, Weight: w})
 		case SetWeight:
@@ -225,7 +238,7 @@ func (g *Graph) Apply(batch []Mutation) (*Delta, error) {
 				rollback()
 				return nil, fmt.Errorf("%w: batch[%d] %s", ErrEdgeNotFound, i, m)
 			}
-			applied = append(applied, Mutation{Op: SetWeight, From: m.From, To: m.To, Weight: old})
+			applied = append(applied, inverse{op: SetWeight, from: m.From, to: m.To, w: old, matchW: m.Weight})
 			d.Reweighted++
 			if m.Weight < old {
 				d.Decreased = append(d.Decreased, graph.Edge{From: m.From, To: m.To, Weight: m.Weight})
@@ -300,6 +313,27 @@ func (g *Graph) setWeight(from, to int32, w float64) (old float64, ok bool) {
 		}
 	}
 	return 0, false
+}
+
+// setWeightW rewrites the weight of the first from→to occurrence whose
+// current weight is exactly matchW (and its weight-matched reverse partner)
+// to w. This is the rollback inverse of SetWeight: matching the edge by the
+// weight the forward mutation wrote keeps rollback correct for parallel
+// edges even after an intervening Delete's swapRemove reordered the list.
+func (g *Graph) setWeightW(from, to int32, matchW, w float64) bool {
+	for i, h := range g.fwd[from] {
+		if h.v == to && h.w == matchW {
+			g.fwd[from][i].w = w
+			for j := range g.rev[to] {
+				if g.rev[to][j].v == from && g.rev[to][j].w == matchW {
+					g.rev[to][j].w = w
+					return true
+				}
+			}
+			panic("dynamic: fwd/rev adjacency out of sync")
+		}
+	}
+	return false
 }
 
 func removeHalf(hs *[]half, v int32, w float64) bool {

@@ -125,6 +125,38 @@ func TestApplyRejectsAndRollsBack(t *testing.T) {
 	}
 }
 
+// TestApplyRollbackParallelEdges is the regression for the slot-exact
+// rollback bug: with parallel 0→1 edges, a batch that reweights one edge,
+// deletes one, and then fails must restore the original edge multiset. The
+// old rollback applied the SetWeight inverse to the FIRST 0→1 occurrence,
+// but the Delete's swapRemove had reordered the list, so the inverse hit the
+// wrong parallel edge and left {5,9} instead of {5,7}.
+func TestApplyRollbackParallelEdges(t *testing.T) {
+	base := graph.MustBuild(2, []graph.Edge{
+		{From: 0, To: 1, Weight: 5},
+		{From: 0, To: 1, Weight: 7},
+	})
+	dg := FromCSR(base)
+	_, err := dg.Apply([]Mutation{
+		{Op: SetWeight, From: 0, To: 1, Weight: 9}, // first occurrence: 5 → 9
+		{Op: Delete, From: 0, To: 1},               // removes the 9; swapRemove reorders
+		{Op: Op(99), From: 0, To: 1},               // fails the batch
+	})
+	if err == nil {
+		t.Fatal("bad batch accepted")
+	}
+	if dg.Epoch() != 0 {
+		t.Fatalf("epoch advanced to %d on failed batch", dg.Epoch())
+	}
+	edgesEqual(t, base, dg.Snapshot())
+	// The reverse adjacency must be restored to the same multiset too.
+	revW := []float64{dg.rev[1][0].w, dg.rev[1][1].w}
+	sort.Float64s(revW)
+	if len(dg.rev[1]) != 2 || revW[0] != 5 || revW[1] != 7 {
+		t.Fatalf("reverse list after rollback: %+v", dg.rev[1])
+	}
+}
+
 func TestApplyInsertThenDeleteWithinBatch(t *testing.T) {
 	dg := FromCSR(diamond())
 	if _, err := dg.Apply([]Mutation{

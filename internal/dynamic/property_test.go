@@ -178,6 +178,35 @@ func TestPropertySplitEqualsCombined(t *testing.T) {
 	}
 }
 
+// TestPropertyFailedBatchIsNoop: any valid batch with an invalid tail must
+// roll back to exactly the pre-Apply graph — same edge multiset, same epoch.
+// Random graphs from gen.Uniform contain parallel edges, so this sweeps the
+// reorder-under-rollback space the deterministic regression test pins.
+func TestPropertyFailedBatchIsNoop(t *testing.T) {
+	for _, seed := range propSeeds(t) {
+		dg, r, _ := propGraph(seed)
+		bg := NewBatchGen(dg, r, 100)
+		before := dg.Snapshot()
+		batch := append(bg.Next(1+r.Intn(8)), Mutation{Op: Op(99)})
+		if _, err := dg.Apply(batch); err == nil {
+			t.Fatalf("seed %d: batch with invalid tail accepted", seed)
+		}
+		if dg.Epoch() != 0 {
+			t.Fatalf("seed %d: failed batch advanced epoch to %d", seed, dg.Epoch())
+		}
+		ea, eb := sortedEdges(before), sortedEdges(dg.Snapshot())
+		if len(ea) != len(eb) {
+			t.Fatalf("seed %d: edge count %d after rollback, want %d", seed, len(eb), len(ea))
+		}
+		for i := range ea {
+			if ea[i] != eb[i] {
+				t.Fatalf("seed %d: rollback corrupted edge %d: %+v, want %+v (batch %v)",
+					seed, i, eb[i], ea[i], batch)
+			}
+		}
+	}
+}
+
 // TestBatchGenValidStream pins that the generator never emits a mutation
 // the graph rejects, across a long stream.
 func TestBatchGenValidStream(t *testing.T) {

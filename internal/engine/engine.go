@@ -441,7 +441,12 @@ func (e *Engine) InFlight() int64 { return e.gInFlight.Value() }
 // running to completion either way).
 func (e *Engine) Close(ctx context.Context) error {
 	e.drainOnce.Do(func() {
+		// Flip draining under mutMu so it serializes with Mutate's publish:
+		// any batch that passed the drain check finishes publishing before
+		// draining begins; after that, Mutate rejects with ErrDraining.
+		e.mutMu.Lock()
 		e.draining.Store(true)
+		e.mutMu.Unlock()
 		close(e.drained)
 	})
 	done := make(chan struct{})

@@ -71,7 +71,9 @@ type MutateResult struct {
 // batch lands, the engine epoch advances by exactly one, stale cache entries
 // are evicted, and every resident completed vector is incrementally repaired
 // and re-cached under the new epoch — or the batch is rejected
-// (ErrBadMutation) and graph, epoch, and cache are all unchanged.
+// (ErrBadMutation) and graph, epoch, and cache are all unchanged. An empty
+// batch is rejected too: a no-op that advanced the epoch would purge and
+// re-home the whole cache for nothing.
 //
 // Concurrent queries are linearized at the version swap: a query admitted
 // before the swap reads the old (epoch, graph) pair and its result is exact
@@ -81,11 +83,17 @@ func (e *Engine) Mutate(batch []dynamic.Mutation) (*MutateResult, error) {
 	if e.dg == nil {
 		return nil, ErrStaticGraph
 	}
-	if e.draining.Load() {
-		return nil, ErrDraining
+	if len(batch) == 0 {
+		return nil, fmt.Errorf("%w: empty batch", ErrBadMutation)
 	}
 	e.mutMu.Lock()
 	defer e.mutMu.Unlock()
+	// Checked under mutMu: Close flips draining while holding mutMu, so once
+	// this passes no drain can begin before this batch publishes — and once
+	// draining is observed, no new version is ever published.
+	if e.draining.Load() {
+		return nil, ErrDraining
+	}
 
 	start := time.Now()
 	old := e.version.Load()

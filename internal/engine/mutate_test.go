@@ -11,6 +11,7 @@ import (
 	"net/http/httptest"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"testing"
 
 	"acic/internal/dynamic"
@@ -117,6 +118,72 @@ func TestMutateRejectsBadBatch(t *testing.T) {
 	}
 	if !res.CacheHit || res.Epoch != 0 {
 		t.Fatalf("cache lost after failed batch: hit=%v epoch=%d", res.CacheHit, res.Epoch)
+	}
+}
+
+// TestMutateRejectsEmptyBatch: the Go API itself rejects a no-op batch (the
+// guard is not transport-specific) — an empty Mutate must not advance the
+// epoch or purge/re-home the cache.
+func TestMutateRejectsEmptyBatch(t *testing.T) {
+	e, _ := mustDynamicEngine(t, testGraph(), Config{})
+	if _, err := e.Query(context.Background(), 7, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range [][]dynamic.Mutation{nil, {}} {
+		if _, err := e.Mutate(batch); !errors.Is(err, ErrBadMutation) {
+			t.Fatalf("err = %v, want ErrBadMutation", err)
+		}
+	}
+	if e.Epoch() != 0 {
+		t.Fatalf("empty batch advanced epoch to %d", e.Epoch())
+	}
+	res, err := e.Query(context.Background(), 7, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.CacheHit || res.Epoch != 0 {
+		t.Fatalf("empty batch disturbed the cache: hit=%v epoch=%d", res.CacheHit, res.Epoch)
+	}
+}
+
+// TestMutateCloseRace races Mutate against Close (meaningful under -race):
+// every batch either publishes its version before draining begins or is
+// rejected with ErrDraining, so the final epoch equals the success count and
+// nothing publishes after the drain.
+func TestMutateCloseRace(t *testing.T) {
+	for trial := 0; trial < 20; trial++ {
+		e, _ := mustDynamicEngine(t, testGraph(), Config{})
+		var succeeded atomic.Uint64
+		var wg sync.WaitGroup
+		wg.Add(2)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 4; i++ {
+				_, err := e.Mutate([]dynamic.Mutation{{Op: dynamic.Insert, From: 0, To: 1, Weight: 1}})
+				if err == nil {
+					succeeded.Add(1)
+				} else if !errors.Is(err, ErrDraining) {
+					t.Errorf("trial %d: %v", trial, err)
+					return
+				}
+			}
+		}()
+		go func() {
+			defer wg.Done()
+			if err := e.Close(context.Background()); err != nil {
+				t.Errorf("trial %d: close: %v", trial, err)
+			}
+		}()
+		wg.Wait()
+		if t.Failed() {
+			return
+		}
+		if e.Epoch() != succeeded.Load() {
+			t.Fatalf("trial %d: epoch %d but %d mutations succeeded", trial, e.Epoch(), succeeded.Load())
+		}
+		if _, err := e.Mutate([]dynamic.Mutation{{Op: dynamic.Insert, From: 0, To: 1, Weight: 1}}); !errors.Is(err, ErrDraining) {
+			t.Fatalf("trial %d: post-drain mutate err = %v, want ErrDraining", trial, err)
+		}
 	}
 }
 
