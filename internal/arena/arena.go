@@ -128,6 +128,27 @@ func (a *Arena[T]) Get(owner int) []T {
 	return make([]T, 0, a.chunkCap) //acic:allow-alloc pool miss: the whole point of the arena is that this line runs rarely
 }
 
+// GetShared returns an empty chunk from the shared spill (or fresh),
+// callable from any goroutine — the Get counterpart of PutShared. It
+// exists for consumers with no owner goroutine of their own, like a
+// transport's frame decoder drawing batch buffers on a socket-reader
+// goroutine; steady-state traffic recycles spilled chunks and allocates
+// nothing.
+func (a *Arena[T]) GetShared() []T {
+	a.mu.Lock()
+	a.sGets++
+	if n := len(a.spill); n > 0 {
+		c := a.spill[n-1]
+		a.spill[n-1] = nil
+		a.spill = a.spill[:n-1]
+		a.mu.Unlock()
+		return c
+	}
+	a.allocs++
+	a.mu.Unlock()
+	return make([]T, 0, a.chunkCap)
+}
+
 // Put returns a chunk to owner's private freelist. It must be called from
 // the goroutine owning that freelist; the chunk must not be touched
 // afterwards. Slices smaller than ChunkCap are dropped (only full-capacity

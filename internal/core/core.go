@@ -159,6 +159,18 @@ func (p Params) withDefaults(numVertices int) (Params, error) {
 	return p, nil
 }
 
+// Transport selects the fabric carrying inter-PE messages (see
+// Options.Transport).
+type Transport int
+
+const (
+	// TransportSim is the default simulated network (internal/netsim).
+	TransportSim Transport = iota
+	// TransportTCP carries inter-process traffic over loopback TCP
+	// sockets through the wire codec (internal/sockfab).
+	TransportTCP
+)
+
 // Options configure one ACIC run.
 type Options struct {
 	// Topo is the simulated machine; zero value means a single node with
@@ -193,6 +205,15 @@ type Options struct {
 	// exact (see internal/relnet). The zero relnet.Config is a usable
 	// default.
 	Reliability *relnet.Config
+	// Transport selects how inter-PE messages travel: TransportSim (the
+	// default) routes everything through the simulated network, while
+	// TransportTCP builds one sockfab node per topology process,
+	// loopback-connected, and serializes every inter-process message
+	// through the wire codec over a real TCP socket. TCP runs reject the
+	// simulation-only knobs — Latency, Jitter, Fault and Reliability —
+	// because real sockets impose their own timing and already provide
+	// ordered, reliable delivery.
+	Transport Transport
 	// Scratch, when non-nil, recycles per-run allocations across repeated
 	// Runs of the same shape (see Scratch). Benchmark, stress and query
 	// drivers set this; one-shot callers leave it nil. Must not be shared

@@ -4,12 +4,15 @@ import (
 	"fmt"
 	"math"
 
+	"acic/internal/fabric"
 	"acic/internal/graph"
 	"acic/internal/netsim"
 	"acic/internal/partition"
 	"acic/internal/runtime"
 	"acic/internal/simclock"
+	"acic/internal/sockfab"
 	"acic/internal/tram"
+	"acic/internal/wire"
 )
 
 // Run executes ACIC on g from source and returns the distance vector and
@@ -69,9 +72,38 @@ func Run(g *graph.Graph, source int, opts Options) (*Result, error) {
 		bucketWidth: params.BucketWidth,
 	}
 
+	var newFab func(deliver func(dst int, payload any)) (fabric.Fabric, error)
+	if opts.Transport == TransportTCP {
+		// Real sockets impose their own timing and already deliver
+		// in order exactly once, so the simulation-only knobs have no
+		// meaning here; rejecting them beats silently ignoring them.
+		switch {
+		case opts.Latency != (netsim.LatencyModel{}):
+			return nil, fmt.Errorf("core: TransportTCP models no latency; Options.Latency must be zero")
+		case opts.Jitter != nil:
+			return nil, fmt.Errorf("core: TransportTCP cannot inject jitter; Options.Jitter must be nil")
+		case !opts.Fault.Empty():
+			return nil, fmt.Errorf("core: TransportTCP cannot inject faults; Options.Fault must be empty")
+		case opts.Reliability != nil:
+			return nil, fmt.Errorf("core: TransportTCP is already reliable; Options.Reliability must be nil")
+		}
+		codec := wire.NewCodec()
+		runtime.RegisterWire(codec)
+		registerCoreWire(codec, sh)
+		newFab = func(deliver func(dst int, payload any)) (fabric.Fabric, error) {
+			return sockfab.NewMesh(sockfab.MeshConfig{
+				NumProcs: topo.TotalProcs(),
+				NumPEs:   topo.TotalPEs(),
+				Owner:    topo.ProcessOf,
+				Codec:    codec,
+			}, deliver)
+		}
+	}
+
 	rt, err := runtime.New(runtime.Config{
 		Topo:        topo,
 		Latency:     opts.Latency,
+		NewFabric:   newFab,
 		Combine:     sh.combineReduce,
 		Trace:       opts.Trace,
 		Jitter:      opts.Jitter,

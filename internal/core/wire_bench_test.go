@@ -1,0 +1,89 @@
+package core
+
+import (
+	"testing"
+)
+
+// BenchmarkWireEncodeBatch measures serializing one full tram batch into a
+// reused frame buffer. The message value is boxed once outside the loop and
+// every iteration pairs the encode hook's pool put with a BorrowShared, so
+// the steady state allocates nothing — the ceiling scripts/bench.sh gates.
+func BenchmarkWireEncodeBatch(b *testing.B) {
+	c, sh := newWireHarness(b)
+	items := sh.tm.Borrow(0)
+	for i := 0; cap(items) > len(items); i++ {
+		items = append(items, Update{Vertex: int32(i), Pred: int32(i - 1), Dist: float64(i)})
+	}
+	var v any = batchMsg{items: items}
+	buf := make([]byte, 0, 8+16*len(items))
+	var err error
+	b.SetBytes(int64(16 * len(items)))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf, err = c.EncodeFrame(buf[:0], v)
+		if err != nil {
+			b.Fatal(err)
+		}
+		// The encode hook released the batch to the pool; take it back so
+		// the freelist neither grows nor drains across iterations.
+		sh.tm.BorrowShared()
+	}
+}
+
+// BenchmarkWireDecodeBatch measures materializing a batch from its frame.
+// The decoded buffer comes from the tram pool and goes straight back, as
+// receiveBatch would after unpacking. The batchMsg return value is boxed
+// into the codec's `any`, so this path pays O(1) boxing allocations per
+// frame — amortized over the batch's items, and not under the zero-alloc
+// gate.
+func BenchmarkWireDecodeBatch(b *testing.B) {
+	c, sh := newWireHarness(b)
+	items := sh.tm.Borrow(0)
+	for i := 0; cap(items) > len(items); i++ {
+		items = append(items, Update{Vertex: int32(i), Pred: int32(i - 1), Dist: float64(i)})
+	}
+	n := len(items)
+	frame, err := c.EncodeFrame(nil, batchMsg{items: items})
+	if err != nil {
+		b.Fatal(err)
+	}
+	sh.tm.BorrowShared() // rebalance the encode hook's put
+	b.SetBytes(int64(16 * n))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := c.DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh.tm.Release(v.(batchMsg).items)
+	}
+}
+
+// BenchmarkWireDecodeReduce measures decoding a reduction contribution.
+// The value lands in a pooled *reduceVal (pointer boxing is free) and is
+// recycled every iteration, so the steady state allocates nothing — the
+// second ceiling scripts/bench.sh gates.
+func BenchmarkWireDecodeReduce(b *testing.B) {
+	c, sh := newWireHarness(b)
+	rv := sh.pools.getReduceVal(sh.bucketCount, sh.bucketWidth)
+	rv.hist.Reset()
+	for i := 0; i < sh.bucketCount; i += 2 {
+		rv.hist.AddCreated(float64(i) * sh.bucketWidth)
+	}
+	rv.finalized = 99
+	frame, err := c.EncodeFrame(nil, rv)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		v, _, err := c.DecodeFrame(frame)
+		if err != nil {
+			b.Fatal(err)
+		}
+		sh.pools.putReduceVal(v.(*reduceVal))
+	}
+}

@@ -157,6 +157,27 @@ type Engine struct {
 	gQueued      *metrics.Gauge
 	gCacheLen    *metrics.Gauge
 	hQueryMicros *metrics.Histogram
+
+	// svcNanos is an EWMA of recent query service time in nanoseconds
+	// (α = 1/8), fed by every completed computation. The HTTP layer
+	// derives the 429 Retry-After hint from it, so the backoff a shed
+	// client is told tracks how long queries actually take on this graph
+	// instead of a hardcoded guess. Zero until the first query completes.
+	svcNanos atomic.Int64
+}
+
+// observeService folds one query's service time into the EWMA.
+func (e *Engine) observeService(d time.Duration) {
+	for {
+		old := e.svcNanos.Load()
+		next := d.Nanoseconds()
+		if old != 0 {
+			next = old + (next-old)/8
+		}
+		if e.svcNanos.CompareAndSwap(old, next) {
+			return
+		}
+	}
 }
 
 // New builds an Engine serving queries over g. The graph must not be
@@ -301,7 +322,9 @@ func (e *Engine) Query(ctx context.Context, source int, opts QueryOptions) (*Que
 	e.mMisses.Inc(slot)
 	start := time.Now()
 	res, snap, err := e.compute(v.g, source, slot, opts.CollectMetrics)
-	e.hQueryMicros.Observe(slot, time.Since(start).Microseconds())
+	svc := time.Since(start)
+	e.hQueryMicros.Observe(slot, svc.Microseconds())
+	e.observeService(svc)
 	if err != nil {
 		e.mErrors.Inc(slot)
 		e.cache.fail(ent, err)

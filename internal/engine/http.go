@@ -24,13 +24,36 @@ import (
 	"net/http"
 	"strconv"
 	"strings"
+	"time"
 
 	"acic/internal/dynamic"
 	"acic/internal/metrics"
 )
 
-// RetryAfterSeconds is the hint sent with 429 responses.
-const RetryAfterSeconds = 1
+// The Retry-After hint sent with 429 responses is derived from the
+// engine's recent mean service time (see Engine.retryAfterSeconds),
+// clamped to this range: never below one second (the header's
+// resolution), never above thirty (a shed client should not be parked
+// for minutes because one pathological query skewed the mean).
+const (
+	minRetryAfterSeconds = 1
+	maxRetryAfterSeconds = 30
+)
+
+// retryAfterSeconds converts the service-time EWMA into a whole-second
+// Retry-After hint. Before any query has completed the EWMA is zero and
+// the floor applies.
+func (e *Engine) retryAfterSeconds() int {
+	mean := time.Duration(e.svcNanos.Load())
+	secs := int((mean + time.Second - 1) / time.Second)
+	if secs < minRetryAfterSeconds {
+		return minRetryAfterSeconds
+	}
+	if secs > maxRetryAfterSeconds {
+		return maxRetryAfterSeconds
+	}
+	return secs
+}
 
 // Handler returns the engine's HTTP API.
 func (e *Engine) Handler() http.Handler {
@@ -243,7 +266,7 @@ func (e *Engine) writeError(w http.ResponseWriter, err error) {
 	case errors.Is(err, ErrStaticGraph):
 		writeJSON(w, http.StatusNotImplemented, errorResponse{err.Error()})
 	case errors.Is(err, ErrSaturated):
-		w.Header().Set("Retry-After", strconv.Itoa(RetryAfterSeconds))
+		w.Header().Set("Retry-After", strconv.Itoa(e.retryAfterSeconds()))
 		writeJSON(w, http.StatusTooManyRequests, errorResponse{err.Error()})
 	case errors.Is(err, ErrDraining):
 		writeJSON(w, http.StatusServiceUnavailable, errorResponse{err.Error()})

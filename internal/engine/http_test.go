@@ -195,3 +195,54 @@ func TestHTTPHealthzAndMetrics(t *testing.T) {
 	}
 }
 
+
+// TestRetryAfterTracksServiceTime pins the adaptive 429 hint: the floor
+// before any query completes, the rounded-up recent mean once queries have
+// run, and the ceiling when the mean is pathological.
+func TestRetryAfterTracksServiceTime(t *testing.T) {
+	e := mustEngine(t, testGraph(), Config{})
+
+	if got := e.retryAfterSeconds(); got != minRetryAfterSeconds {
+		t.Errorf("cold engine Retry-After = %d, want floor %d", got, minRetryAfterSeconds)
+	}
+
+	// Sub-second queries stay at the floor: the header has whole-second
+	// resolution and 0 would mean "retry immediately".
+	e.svcNanos.Store((50 * time.Millisecond).Nanoseconds())
+	if got := e.retryAfterSeconds(); got != 1 {
+		t.Errorf("50ms mean Retry-After = %d, want 1", got)
+	}
+
+	// A multi-second mean rounds up, never down: telling a client to come
+	// back sooner than the mean service time just re-sheds it.
+	e.svcNanos.Store((2500 * time.Millisecond).Nanoseconds())
+	if got := e.retryAfterSeconds(); got != 3 {
+		t.Errorf("2.5s mean Retry-After = %d, want 3", got)
+	}
+
+	e.svcNanos.Store((5 * time.Minute).Nanoseconds())
+	if got := e.retryAfterSeconds(); got != maxRetryAfterSeconds {
+		t.Errorf("5m mean Retry-After = %d, want ceiling %d", got, maxRetryAfterSeconds)
+	}
+
+	// The EWMA converges toward a stable service time from both sides.
+	e.svcNanos.Store(0)
+	for i := 0; i < 64; i++ {
+		e.observeService(800 * time.Millisecond)
+	}
+	mean := time.Duration(e.svcNanos.Load())
+	if mean < 700*time.Millisecond || mean > 900*time.Millisecond {
+		t.Errorf("EWMA after steady 800ms observations = %v", mean)
+	}
+}
+
+// TestQueriesFeedServiceEWMA checks real queries move the mean.
+func TestQueriesFeedServiceEWMA(t *testing.T) {
+	e := mustEngine(t, testGraph(), Config{})
+	if _, err := e.Query(context.Background(), 0, QueryOptions{}); err != nil {
+		t.Fatal(err)
+	}
+	if e.svcNanos.Load() == 0 {
+		t.Error("completed query left the service-time EWMA at zero")
+	}
+}

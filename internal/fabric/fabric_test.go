@@ -1,0 +1,20 @@
+package fabric
+
+import "testing"
+
+func TestSendResultString(t *testing.T) {
+	cases := []struct {
+		r    SendResult
+		want string
+	}{
+		{SendEnqueued, "enqueued"},
+		{SendDropped, "dropped"},
+		{SendClosed, "closed"},
+		{SendResult(99), "invalid"},
+	}
+	for _, c := range cases {
+		if got := c.r.String(); got != c.want {
+			t.Errorf("SendResult(%d).String() = %q, want %q", c.r, got, c.want)
+		}
+	}
+}

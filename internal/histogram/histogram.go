@@ -116,6 +116,12 @@ func (h *Histogram) AddProcessed(d float64) {
 // Bucket returns the raw signed count of bucket i.
 func (h *Histogram) Bucket(i int) int64 { return h.buckets[i] }
 
+// SetBucket overwrites the raw count of bucket i. It exists for the wire
+// codec, which rebuilds a histogram from its serialized sparse buckets;
+// algorithm code mutates buckets only through AddCreated/AddProcessed so
+// Created/Processed stay consistent with the bucket contents.
+func (h *Histogram) SetBucket(i int, v int64) { h.buckets[i] = v }
+
 // Active returns Created - Processed, the number of updates this histogram
 // believes are in flight. Only meaningful on a merged global histogram.
 func (h *Histogram) Active() int64 { return h.Created - h.Processed }

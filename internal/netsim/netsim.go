@@ -34,6 +34,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acic/internal/fabric"
 	"acic/internal/metrics"
 )
 
@@ -168,17 +169,23 @@ type Stats struct {
 // SendResult reports what happened to one Send (or SendAfter) call. Callers
 // that assume a reliable fabric may ignore it; the reliable-delivery layer
 // (internal/relnet) uses it to keep its retransmit and ack ledgers exact.
-type SendResult uint8
+// It is an alias of fabric.SendResult so netsim's constants and those of
+// any other fabric.Fabric implementation are interchangeable.
+type SendResult = fabric.SendResult
 
 // Send outcomes.
 const (
 	// SendEnqueued: the message entered a lane and will be delivered.
-	SendEnqueued SendResult = iota
+	SendEnqueued = fabric.SendEnqueued
 	// SendDropped: an injected DropFilter discarded the message.
-	SendDropped
+	SendDropped = fabric.SendDropped
 	// SendClosed: the network was already closed; the message vanished.
-	SendClosed
+	SendClosed = fabric.SendClosed
 )
+
+// The simulated network is the reference implementation of the fabric
+// surface the runtime programs against.
+var _ fabric.Fabric = (*Network)(nil)
 
 // DropFilter decides whether to discard a message, for fault-injection
 // tests. It is consulted on every Send with the message's endpoints and

@@ -1,5 +1,6 @@
 // Package relnet is the reliable-delivery layer between the runtime and the
-// simulated fabric (internal/netsim).
+// message fabric (any fabric.Fabric — the simulated internal/netsim
+// network or the TCP transport in internal/sockfab).
 //
 // The paper's quiescence rule — created == processed, stable across two
 // consecutive reductions (§II-D) — silently assumes the fabric neither loses
@@ -19,14 +20,18 @@
 //     (a tram batch flowing dst→src carries the ack for free); quiet links
 //     fall back to a standalone delayed ack.
 //   - Unacked frames are retransmitted on a timeout with exponential
-//     backoff. Timeouts ride netsim.SendAfter, the fabric's own timer
-//     facility, so retransmission is event-driven on the same simulated
-//     timeline as the traffic it guards — no second clock, no polling, no
-//     wall-time reads (the package is under detrand enforcement). The
-//     injected simclock.Clock is used only to observe ack latency.
+//     backoff. Timeouts ride the fabric's own SendAfter timer facility, so
+//     retransmission is event-driven on the same timeline as the traffic
+//     it guards — no second clock, no polling, no wall-time reads (the
+//     package is under detrand enforcement). The injected simclock.Clock
+//     is used only to observe ack latency.
+//   - A frame left unacked when the fabric's timer facility closes loses
+//     its retransmit protection. The layer makes that loud instead of
+//     silent: the send reports SendClosed and the frame is counted in the
+//     "relnet.stranded" diagnostic (Stats.Stranded).
 //
-// Retransmitted frames re-enter netsim.Send and are therefore subject to
-// the same fault filters as first transmissions: under a probabilistic drop
+// Retransmitted frames re-enter the fabric's Send and are therefore subject
+// to the same fault filters as first transmissions: under a probabilistic drop
 // filter a frame is retried until a copy survives. Every layer action is
 // counted (Stats, and the "relnet." metrics instruments) so the runtime's
 // conservation ledger (runtime.Audit) stays exact in the presence of
@@ -38,8 +43,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acic/internal/fabric"
 	"acic/internal/metrics"
-	"acic/internal/netsim"
 	"acic/internal/simclock"
 	"acic/internal/trace"
 )
@@ -65,7 +70,7 @@ type Config struct {
 	AckDelay time.Duration
 	// Clock observes ack latency (the "relnet.ack_latency_ns" histogram).
 	// Retransmit scheduling does NOT use it — timeouts ride the fabric's
-	// timeline via netsim.SendAfter. Defaults to simclock.Default().
+	// timeline via its SendAfter facility. Defaults to simclock.Default().
 	Clock simclock.Clock
 	// Metrics, when non-nil, receives the layer's instruments under the
 	// "relnet." prefix, sharded by the stream's source PE. A nil registry
@@ -107,6 +112,14 @@ type Stats struct {
 	// AcksConsumed counts standalone ack frames delivered to and consumed
 	// by the layer.
 	AcksConsumed int64
+	// Stranded counts data frames left unacked after the fabric's timer
+	// facility closed under them: no retransmit timer will ever retry
+	// them, so the at-least-once guarantee has lapsed. Each frame is
+	// counted at most once. A diagnostic, not a conservation column — a
+	// stranded frame's first transmission may still be delivered by the
+	// fabric's close-time drain, in which case the counter overstates the
+	// actual loss.
+	Stranded int64
 }
 
 // --- wire frames ---
@@ -161,6 +174,9 @@ type pair struct {
 	unacked    []pending
 	rto        time.Duration // current backoff value; 0 means "use Config.RTO"
 	timerArmed bool
+	// strandedUpTo is the highest seq already counted in the stranded
+	// diagnostic, so repeated arm failures count each frame at most once.
+	strandedUpTo uint64
 
 	// Receiver side. cumAck is atomic because reverse-direction senders
 	// read it to piggyback; everything else is touched only on the fabric
@@ -182,7 +198,7 @@ type pair struct {
 type Layer struct {
 	cfg     Config
 	n       int
-	net     *netsim.Network
+	net     fabric.Fabric
 	deliver func(dst int, payload any)
 	pairs   []pair // stream (s, d) at index s*n+d
 
@@ -190,6 +206,7 @@ type Layer struct {
 	dupDiscarded *metrics.Counter
 	acksSent     *metrics.Counter
 	acksConsumed *metrics.Counter
+	stranded     *metrics.Counter
 	ackLatency   *metrics.Histogram
 }
 
@@ -212,14 +229,16 @@ func New(cfg Config, numPEs int, deliver func(dst int, payload any)) *Layer {
 		dupDiscarded: reg.Counter("relnet.dup_discarded"),
 		acksSent:     reg.Counter("relnet.acks_sent"),
 		acksConsumed: reg.Counter("relnet.acks_consumed"),
+		stranded:     reg.Counter("relnet.stranded"),
 		ackLatency:   reg.Histogram("relnet.ack_latency_ns"),
 	}
 }
 
-// Bind attaches the fabric the layer sends through. The network's deliver
-// function must route every payload to OnFabric; Bind must be called before
-// the first Send.
-func (l *Layer) Bind(net *netsim.Network) { l.net = net }
+// Bind attaches the fabric the layer sends through — any fabric.Fabric
+// (the simulated netsim network, a sockfab TCP node, or a test stub). The
+// fabric's deliver function must route every payload to OnFabric; Bind
+// must be called before the first Send.
+func (l *Layer) Bind(net fabric.Fabric) { l.net = net }
 
 // pair returns the state of stream src→dst.
 func (l *Layer) pair(src, dst int) *pair { return &l.pairs[src*l.n+dst] }
@@ -228,7 +247,13 @@ func (l *Layer) pair(src, dst int) *pair { return &l.pairs[src*l.n+dst] }
 // the frame is stamped with the stream's next sequence number, retained
 // until acknowledged, and retransmitted with exponential backoff until an
 // ack arrives or the fabric closes. Safe for concurrent use.
-func (l *Layer) Send(src, dst int, payload any, size int) netsim.SendResult {
+//
+// SendClosed means the at-least-once guarantee could not be provided for
+// this frame: either the data send itself hit a closed fabric, or the
+// fabric closed before the retransmit timer could arm (a close racing the
+// send), leaving the frame unacked with nothing to retry it. Both cases
+// count the stream's newly unprotected frames in Stats.Stranded.
+func (l *Layer) Send(src, dst int, payload any, size int) fabric.SendResult {
 	p := l.pair(src, dst)
 	p.mu.Lock()
 	p.nextSeq++
@@ -248,15 +273,31 @@ func (l *Layer) Send(src, dst int, payload any, size int) netsim.SendResult {
 		Payload: payload, Size: size,
 	}, size)
 	if arm {
-		if l.net.SendAfter(src, retransTimer{Src: src, Dst: dst}, l.cfg.RTO) == netsim.SendClosed {
+		if l.net.SendAfter(src, retransTimer{Src: src, Dst: dst}, l.cfg.RTO) == fabric.SendClosed {
+			// The fabric closed between the data send and the timer arm.
+			// The frame sits in unacked with no timer to retry it; report
+			// the lapse instead of pretending the frame is protected.
 			p.mu.Lock()
 			p.timerArmed = false
+			l.strandLocked(p, src)
 			p.mu.Unlock()
+			res = fabric.SendClosed
 		}
 	}
 	// A SendDropped result is still at-least-once progress: the frame sits
 	// in the unacked queue and the armed timer will retry it.
 	return res
+}
+
+// strandLocked counts every unacked frame of p not already counted into
+// the stranded diagnostic. Caller holds p.mu; src shards the counter.
+func (l *Layer) strandLocked(p *pair, src int) {
+	for _, pd := range p.unacked {
+		if pd.seq > p.strandedUpTo {
+			p.strandedUpTo = pd.seq
+			l.stranded.Inc(src)
+		}
+	}
 }
 
 // OnFabric is the layer's fabric-side entry point: the Network's deliver
@@ -320,8 +361,15 @@ func (l *Layer) onData(f dataFrame) {
 	p.ackOwed = true
 	if !p.ackPending {
 		p.ackPending = true
-		if l.net.SendAfter(f.Dst, ackTimer{Src: f.Src, Dst: f.Dst}, l.cfg.AckDelay) == netsim.SendClosed {
+		if l.net.SendAfter(f.Dst, ackTimer{Src: f.Src, Dst: f.Dst}, l.cfg.AckDelay) == fabric.SendClosed {
+			// The timer facility is closed but data is still arriving — a
+			// half-closed fabric. Resetting ackPending alone would leave
+			// ackOwed latched with no timer ever coming, permanently muting
+			// standalone acks for the stream while the sender retransmits
+			// forever. Fire the fallback inline instead: onData runs on the
+			// dispatcher goroutine, exactly where the timer would have run.
 			p.ackPending = false
+			l.onAckTimer(ackTimer{Src: f.Src, Dst: f.Dst})
 		}
 	}
 }
@@ -337,7 +385,7 @@ func (l *Layer) onAckTimer(t ackTimer) {
 	}
 	p.ackOwed = false
 	ack := ackFrame{Src: t.Src, Dst: t.Dst, Ack: p.cumAck.Load()}
-	if l.net.Send(t.Dst, t.Src, ack, 1) != netsim.SendClosed {
+	if l.net.Send(t.Dst, t.Src, ack, 1) != fabric.SendClosed {
 		l.acksSent.Inc(t.Src)
 	}
 }
@@ -405,17 +453,26 @@ func (l *Layer) onRetransTimer(t retransTimer) {
 			Src: t.Src, Dst: t.Dst, Seq: pd.seq, Ack: ack,
 			Payload: pd.payload, Size: pd.size,
 		}, pd.size)
-		if res == netsim.SendClosed {
-			return // fabric closed: nothing further will be delivered
+		if res == fabric.SendClosed {
+			// Fabric closed mid-resend: nothing further will be delivered
+			// and no timer can re-arm. Disarm (a latched timerArmed with no
+			// timer in flight would also block every future Send from
+			// arming one) and record the lapse.
+			p.mu.Lock()
+			p.timerArmed = false
+			l.strandLocked(p, t.Src)
+			p.mu.Unlock()
+			return
 		}
 		l.retransmits.Inc(t.Src)
 		if l.cfg.Trace != nil {
 			l.cfg.Trace.Record(t.Src, trace.KindRetransmit, int64(pd.seq))
 		}
 	}
-	if l.net.SendAfter(t.Src, t, next) == netsim.SendClosed {
+	if l.net.SendAfter(t.Src, t, next) == fabric.SendClosed {
 		p.mu.Lock()
 		p.timerArmed = false
+		l.strandLocked(p, t.Src)
 		p.mu.Unlock()
 	}
 }
@@ -428,5 +485,6 @@ func (l *Layer) Stats() Stats {
 		DupDiscarded: l.dupDiscarded.Value(),
 		AcksSent:     l.acksSent.Value(),
 		AcksConsumed: l.acksConsumed.Value(),
+		Stranded:     l.stranded.Value(),
 	}
 }

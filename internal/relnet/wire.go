@@ -1,0 +1,63 @@
+package relnet
+
+import (
+	"acic/internal/wire"
+)
+
+// RegisterWire installs codecs for the layer's two frame types. Timers
+// are deliberately unregistered: they are local fabric callbacks and a
+// timer crossing a process boundary would be a routing bug worth a loud
+// encode failure.
+//
+// Note the layer itself is not wired into the TCP transport today: its
+// retransmission buffer retains frame payloads past the send call, which
+// conflicts with encode-consumes-payload recycling (a retransmit would
+// re-encode a payload whose buffers were already recycled). TCP provides
+// the reliable-delivery guarantees the layer simulates, so the transport
+// runs without it. The codecs exist so the frame format is pinned and
+// tested against skew before any future transport relaxes that rule.
+func RegisterWire(c *wire.Codec) {
+	c.Register(wire.TagData, dataFrame{},
+		func(c *wire.Codec, buf []byte, v any) ([]byte, error) {
+			f := v.(dataFrame)
+			buf = wire.AppendU32(buf, uint32(f.Src))
+			buf = wire.AppendU32(buf, uint32(f.Dst))
+			buf = wire.AppendU64(buf, f.Seq)
+			buf = wire.AppendU64(buf, f.Ack)
+			buf = wire.AppendU32(buf, uint32(f.Size))
+			return c.AppendValue(buf, f.Payload)
+		},
+		func(c *wire.Codec, r *wire.Reader) (any, error) {
+			var f dataFrame
+			f.Src = int(r.U32())
+			f.Dst = int(r.U32())
+			f.Seq = r.U64()
+			f.Ack = r.U64()
+			f.Size = int(r.U32())
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			payload, err := c.ReadValue(r)
+			if err != nil {
+				return nil, err
+			}
+			f.Payload = payload
+			return f, nil
+		},
+		nil)
+	c.Register(wire.TagAck, ackFrame{},
+		func(c *wire.Codec, buf []byte, v any) ([]byte, error) {
+			f := v.(ackFrame)
+			buf = wire.AppendU32(buf, uint32(f.Src))
+			buf = wire.AppendU32(buf, uint32(f.Dst))
+			return wire.AppendU64(buf, f.Ack), nil
+		},
+		func(c *wire.Codec, r *wire.Reader) (any, error) {
+			f := ackFrame{Src: int(r.U32()), Dst: int(r.U32()), Ack: r.U64()}
+			if err := r.Err(); err != nil {
+				return nil, err
+			}
+			return f, nil
+		},
+		nil)
+}

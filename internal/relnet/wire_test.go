@@ -1,0 +1,64 @@
+package relnet
+
+import (
+	"testing"
+
+	"acic/internal/wire"
+)
+
+type wireStub struct{ n int64 }
+
+func frameCodec() *wire.Codec {
+	c := wire.NewCodec()
+	RegisterWire(c)
+	c.Register(0x80, wireStub{},
+		func(c *wire.Codec, buf []byte, v any) ([]byte, error) {
+			return wire.AppendI64(buf, v.(wireStub).n), nil
+		},
+		func(c *wire.Codec, r *wire.Reader) (any, error) {
+			return wireStub{n: r.I64()}, nil
+		},
+		nil)
+	return c
+}
+
+func TestDataFrameWireRoundTrip(t *testing.T) {
+	c := frameCodec()
+	want := dataFrame{Src: 3, Dst: 1, Seq: 99, Ack: 42, Size: 7, Payload: wireStub{n: -5}}
+	frame, err := c.EncodeFrame(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := got.(dataFrame)
+	if f.Src != 3 || f.Dst != 1 || f.Seq != 99 || f.Ack != 42 || f.Size != 7 || f.Payload.(wireStub).n != -5 {
+		t.Fatalf("round trip: %+v", f)
+	}
+}
+
+func TestAckFrameWireRoundTrip(t *testing.T) {
+	c := frameCodec()
+	frame, err := c.EncodeFrame(nil, ackFrame{Src: 2, Dst: 0, Ack: 17})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if f := got.(ackFrame); f.Src != 2 || f.Dst != 0 || f.Ack != 17 {
+		t.Fatalf("round trip: %+v", f)
+	}
+}
+
+func TestTimersAreNotWireEncodable(t *testing.T) {
+	c := frameCodec()
+	for _, v := range []any{retransTimer{Src: 1}, ackTimer{Dst: 1}} {
+		if _, err := c.EncodeFrame(nil, v); err == nil {
+			t.Errorf("%T encoded; timers must stay process-local", v)
+		}
+	}
+}

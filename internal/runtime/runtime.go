@@ -30,6 +30,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"acic/internal/fabric"
 	"acic/internal/metrics"
 	"acic/internal/netsim"
 	"acic/internal/relnet"
@@ -67,12 +68,30 @@ func (NopControl) OnReduction(*PE, int64, any) {}
 // (Config.QuiescencePoll > 0) observes a quiescent state.
 type Quiescence struct{}
 
+// Span is the half-open PE range [Lo, Hi) a Runtime instance hosts. The
+// zero value means "all PEs" — the single-process case. A distributed
+// launch gives each worker process the span of its topology process;
+// messages to PEs outside the span leave through the custom fabric.
+type Span struct{ Lo, Hi int }
+
 // Config parameterizes a Runtime.
 type Config struct {
-	// Topo is the simulated machine shape. Required.
+	// Topo is the machine shape. Required.
 	Topo netsim.Topology
 	// Latency is the network latency model.
 	Latency netsim.LatencyModel
+	// NewFabric, when non-nil, replaces the built-in simulated network:
+	// the runtime calls it once with its deliver callback and sends every
+	// non-bypass message through the returned fabric (e.g. a sockfab TCP
+	// node or mesh). deliver must be invoked serially per destination, on
+	// one dispatcher goroutine per process — the same contract netsim's
+	// dispatcher honors. With a custom fabric the Jitter/Fault knobs are
+	// rejected (they parameterize the simulation) and the zero-latency
+	// mailbox bypass applies only to intra-process pairs inside Span.
+	NewFabric func(deliver func(dst int, payload any)) (fabric.Fabric, error)
+	// Span restricts which PEs this instance hosts; requires NewFabric
+	// (the simulated network delivers every PE in-process). Zero = all.
+	Span Span
 	// Combine merges two reduction contributions. Required if any handler
 	// calls Contribute.
 	Combine func(a, b any) any
@@ -125,12 +144,15 @@ func (c Config) controlMsgSize() int {
 	return c.ControlMsgSize
 }
 
-// Runtime hosts the PEs and the simulated network.
+// Runtime hosts the PEs and the message fabric.
 type Runtime struct {
 	cfg Config
-	net *netsim.Network
-	rel *relnet.Layer // nil unless Config.Reliability is set
-	pes []*PE
+	fab fabric.Fabric
+	net *netsim.Network // the built-in fabric; nil under Config.NewFabric
+	rel *relnet.Layer   // nil unless Config.Reliability is set
+	pes []*PE           // indexed by global PE id; nil outside [lo, hi)
+	lo  int             // hosted span [lo, hi)
+	hi  int
 
 	// zeroBase is a per-(src,dst) bitmap of pairs whose tier has zero base
 	// latency (Delay(tier, 0) == 0), precomputed so the fast-path check in
@@ -221,13 +243,32 @@ type envelope struct {
 	kind  envKind
 }
 
-// New creates a Runtime and starts its simulated network. Call Start to
-// launch PEs.
+// New creates a Runtime and starts its fabric (the simulated network, or
+// whatever Config.NewFabric builds). Call Start to launch PEs.
 func New(cfg Config) (*Runtime, error) {
 	rt := &Runtime{cfg: cfg, done: make(chan struct{}), qdStop: make(chan struct{})}
 	numPEs := cfg.Topo.TotalPEs()
+	rt.lo, rt.hi = cfg.Span.Lo, cfg.Span.Hi
+	if rt.lo == 0 && rt.hi == 0 {
+		rt.hi = numPEs
+	}
+	switch {
+	case rt.lo < 0 || rt.hi > numPEs || rt.lo >= rt.hi:
+		return nil, fmt.Errorf("runtime: span [%d, %d) outside topology's %d PEs", rt.lo, rt.hi, numPEs)
+	case (rt.lo != 0 || rt.hi != numPEs) && cfg.NewFabric == nil:
+		return nil, fmt.Errorf("runtime: span [%d, %d) requires a custom fabric; the simulated network hosts every PE in-process", rt.lo, rt.hi)
+	}
+	if cfg.NewFabric != nil && (cfg.Jitter != nil || !cfg.Fault.Empty()) {
+		return nil, fmt.Errorf("runtime: Jitter and Fault parameterize the simulated network and cannot be installed on a custom fabric")
+	}
+	if cfg.QuiescencePoll > 0 && (rt.lo != 0 || rt.hi != numPEs) {
+		// The poll-based detector compares process-local counters; with a
+		// partial span those say nothing about remote PEs, so it could
+		// declare quiescence while work is in flight elsewhere.
+		return nil, fmt.Errorf("runtime: QuiescencePoll requires hosting all PEs; span [%d, %d) of %d is partial", rt.lo, rt.hi, numPEs)
+	}
 	rt.pes = make([]*PE, numPEs)
-	for i := range rt.pes {
+	for i := rt.lo; i < rt.hi; i++ {
 		pe := &PE{rt: rt, index: i, mbox: newMailbox(numPEs), reductions: make(map[int64]*redState)}
 		c1, c2, nc := treeChildren(i, numPEs)
 		pe.childL, pe.childR, pe.numChildren = -1, -1, nc
@@ -246,8 +287,14 @@ func New(cfg Config) (*Runtime, error) {
 		// reliability installed every envelope needs a sequence number, and
 		// with a fault plan every message must face the filters — in each
 		// case the bitmap stays empty and every message crosses the fabric.
-		for src := 0; src < numPEs; src++ {
-			for dst := 0; dst < numPEs; dst++ {
+		// Under a custom fabric only hosted intra-process pairs may bypass:
+		// everything else must reach the fabric to be routed (and, across
+		// the process boundary, serialized and counted).
+		for src := rt.lo; src < rt.hi; src++ {
+			for dst := rt.lo; dst < rt.hi; dst++ {
+				if cfg.NewFabric != nil && cfg.Topo.ProcessOf(src) != cfg.Topo.ProcessOf(dst) {
+					continue
+				}
 				if cfg.Latency.Delay(cfg.Topo.TierOf(src, dst), 0) == 0 {
 					idx := src*numPEs + dst
 					rt.zeroBase[idx>>6] |= 1 << (idx & 63)
@@ -270,39 +317,61 @@ func New(cfg Config) (*Runtime, error) {
 			relCfg.Trace = cfg.Trace
 		}
 		rt.rel = relnet.New(relCfg, numPEs, func(dst int, payload any) {
-			rt.pes[dst].mbox.push(payload.(envelope))
+			rt.deliverLocal(dst, payload)
 		})
 	}
-	net, err := netsim.NewNetworkWithRegistry(cfg.Topo, cfg.Latency, func(dst int, payload any) {
+	deliver := func(dst int, payload any) {
 		if rt.rel != nil {
 			// The layer deduplicates and strips its framing, then hands
-			// application envelopes to the mailbox push above.
+			// application envelopes to deliverLocal.
 			rt.rel.OnFabric(dst, payload)
 			return
 		}
-		rt.pes[dst].mbox.push(payload.(envelope))
-	}, cfg.Metrics)
-	if err != nil {
-		return nil, err
+		rt.deliverLocal(dst, payload)
 	}
-	if cfg.Jitter != nil {
-		net.SetJitter(cfg.Jitter)
+	if cfg.NewFabric != nil {
+		fab, err := cfg.NewFabric(deliver)
+		if err != nil {
+			return nil, err
+		}
+		rt.fab = fab
+	} else {
+		net, err := netsim.NewNetworkWithRegistry(cfg.Topo, cfg.Latency, deliver, cfg.Metrics)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.Jitter != nil {
+			net.SetJitter(cfg.Jitter)
+		}
+		net.ApplyFaults(cfg.Fault)
+		rt.net = net
+		rt.fab = net
 	}
-	net.ApplyFaults(cfg.Fault)
-	rt.net = net
 	if rt.rel != nil {
-		rt.rel.Bind(net)
+		rt.rel.Bind(rt.fab)
 	}
 	return rt, nil
 }
 
-// Start instantiates one handler per PE via factory and launches the PE
-// goroutines. It must be called exactly once.
+// deliverLocal pushes a fabric-delivered envelope into its destination
+// mailbox. A delivery outside the hosted span is a routing bug in the
+// fabric — made loud rather than dropped, because a silently lost
+// envelope shows up much later as a quiescence hang.
+func (rt *Runtime) deliverLocal(dst int, payload any) {
+	pe := rt.pes[dst]
+	if pe == nil {
+		panic(fmt.Sprintf("runtime: fabric delivered to PE %d outside hosted span [%d, %d)", dst, rt.lo, rt.hi))
+	}
+	pe.mbox.push(payload.(envelope))
+}
+
+// Start instantiates one handler per hosted PE via factory and launches
+// the PE goroutines. It must be called exactly once.
 func (rt *Runtime) Start(factory func(pe *PE) Handler) {
-	for _, pe := range rt.pes {
+	for _, pe := range rt.pes[rt.lo:rt.hi] {
 		pe.handler = factory(pe)
 	}
-	for _, pe := range rt.pes {
+	for _, pe := range rt.pes[rt.lo:rt.hi] {
 		rt.wg.Add(1)
 		//acic:allow-goroutine PE workers are the runtime's own threads of execution
 		go pe.run()
@@ -334,7 +403,7 @@ func Run(cfg Config, factory func(pe *PE) Handler) error {
 // PE's Exit call).
 func (rt *Runtime) Wait() {
 	<-rt.done
-	rt.net.Close()
+	rt.fab.Close()
 }
 
 // RequestExit asks all PEs to stop once they finish their current handler.
@@ -343,27 +412,41 @@ func (rt *Runtime) RequestExit() {
 	rt.stopOnce.Do(func() {
 		rt.stopFlag.Store(true)
 		close(rt.qdStop)
-		for _, pe := range rt.pes {
+		for _, pe := range rt.pes[rt.lo:rt.hi] {
 			pe.mbox.close()
 		}
 	})
 }
 
-// NumPEs returns the PE count.
+// NumPEs returns the machine-wide PE count (hosted or not).
 func (rt *Runtime) NumPEs() int { return len(rt.pes) }
 
-// Topology returns the simulated machine shape.
+// HostedSpan returns the PE range this instance hosts, [Lo, Hi).
+func (rt *Runtime) HostedSpan() Span { return Span{Lo: rt.lo, Hi: rt.hi} }
+
+// Topology returns the machine shape.
 func (rt *Runtime) Topology() netsim.Topology { return rt.cfg.Topo }
 
-// NetworkStats returns the simulated network's counters.
-func (rt *Runtime) NetworkStats() netsim.Stats { return rt.net.Stats() }
+// NetworkStats returns the simulated network's counters, or zeros under a
+// custom fabric (a real transport has no simulation counters).
+func (rt *Runtime) NetworkStats() netsim.Stats {
+	if rt.net == nil {
+		return netsim.Stats{}
+	}
+	return rt.net.Stats()
+}
 
 // Network exposes the underlying simulated fabric, primarily so
-// fault-injection tests can install a netsim.DropFilter. Note that
+// fault-injection tests can install a netsim.DropFilter. Nil when the
+// runtime was built over a custom fabric (Config.NewFabric). Note that
 // zero-delay messages bypass the network (they go straight to the
 // destination mailbox), so a filter only sees messages with non-zero
 // modeled latency.
 func (rt *Runtime) Network() *netsim.Network { return rt.net }
+
+// Fabric exposes the fabric the runtime sends through — the simulated
+// network or the custom one built by Config.NewFabric.
+func (rt *Runtime) Fabric() fabric.Fabric { return rt.fab }
 
 // MessagesSent returns the total number of messages sent so far.
 func (rt *Runtime) MessagesSent() int64 { return rt.sent.Load() }
@@ -401,29 +484,45 @@ type Audit struct {
 	DupDiscarded int64 // frames swallowed by the receiver dedup window
 	AcksSent     int64 // standalone ack frames handed to the fabric
 	AcksConsumed int64 // standalone ack frames consumed by the layer
+	// Stranded is relnet's diagnostic for frames whose retransmit
+	// protection lapsed against a closing fabric. It is NOT part of the
+	// conservation identity (the frame's first transmission is already
+	// accounted there); nonzero after a clean run means the close raced
+	// the reliability layer.
+	Stranded int64
 
 	// NetDuplicated counts fabric-injected duplicate copies (netsim
 	// DupFilter ghosts), with or without the reliability layer.
 	NetDuplicated int64
+
+	// Process-boundary columns (zero on a single-process fabric). A frame
+	// written to the transport boundary leaves this process's ledger
+	// through BoundaryOut; a frame decoded off the boundary enters it
+	// through BoundaryIn. Within one process the identity holds with both
+	// columns in place; across a whole launch, sum(BoundaryOut) ==
+	// sum(BoundaryIn) once every process has drained — the launcher checks
+	// exactly that.
+	BoundaryOut int64
+	BoundaryIn  int64
 }
 
 // Unaccounted returns the number of fabric frames the ledger cannot place —
 // nonzero means a message was silently lost or double-counted somewhere.
 func (a Audit) Unaccounted() int64 {
-	return a.Sent + a.Retransmits + a.NetDuplicated + a.AcksSent -
+	return a.Sent + a.Retransmits + a.NetDuplicated + a.AcksSent + a.BoundaryIn -
 		a.Delivered - a.NetQueue - a.NetDropped - a.MailboxBacklog - a.DroppedAtExit -
-		a.DupDiscarded - a.AcksConsumed
+		a.DupDiscarded - a.AcksConsumed - a.BoundaryOut
 }
 
 // Audit snapshots the conservation ledger. Call after Wait for an exact
 // accounting; the schedule-stress harness checks Unaccounted() == 0 and
 // NetQueue == 0 after every run.
 func (rt *Runtime) Audit() Audit {
-	ns := rt.net.Stats()
+	ns := rt.NetworkStats()
 	a := Audit{
 		Sent:          rt.sent.Load(),
 		Delivered:     rt.delivered.Load(),
-		NetQueue:      int64(rt.net.QueueLen()),
+		NetQueue:      int64(rt.fab.QueueLen()),
 		NetDropped:    ns.Dropped,
 		NetDuplicated: ns.Duplicated,
 	}
@@ -433,8 +532,12 @@ func (rt *Runtime) Audit() Audit {
 		a.DupDiscarded = rs.DupDiscarded
 		a.AcksSent = rs.AcksSent
 		a.AcksConsumed = rs.AcksConsumed
+		a.Stranded = rs.Stranded
 	}
-	for _, pe := range rt.pes {
+	if b, ok := rt.fab.(fabric.Boundary); ok {
+		a.BoundaryOut, a.BoundaryIn = b.BoundaryCounts()
+	}
+	for _, pe := range rt.pes[rt.lo:rt.hi] {
 		a.MailboxBacklog += int64(pe.mbox.len())
 		a.DroppedAtExit += pe.mbox.dropped.Load()
 	}
@@ -476,7 +579,7 @@ func (rt *Runtime) send(src, dst int, env envelope, size int) {
 		rt.rel.Send(src, dst, env, size) //acic:allow-alloc fabric path queues the envelope; the ring fast path above stays alloc-free
 		return
 	}
-	rt.net.Send(src, dst, env, size) //acic:allow-alloc fabric path queues the envelope; the ring fast path above stays alloc-free
+	rt.fab.Send(src, dst, env, size) //acic:allow-alloc fabric path queues the envelope; the ring fast path above stays alloc-free
 }
 
 // sendFrom is send for envelopes originating on src's own PE goroutine —
@@ -495,7 +598,7 @@ func (rt *Runtime) sendFrom(src, dst int, env envelope, size int) {
 		rt.rel.Send(src, dst, env, size) //acic:allow-alloc fabric path queues the envelope; the ring fast path above stays alloc-free
 		return
 	}
-	rt.net.Send(src, dst, env, size) //acic:allow-alloc fabric path queues the envelope; the ring fast path above stays alloc-free
+	rt.fab.Send(src, dst, env, size) //acic:allow-alloc fabric path queues the envelope; the ring fast path above stays alloc-free
 }
 
 // selfPush counts a mailbox self-push in sent before enqueueing it. Every
@@ -620,11 +723,27 @@ func (pe *PE) absorb(epoch int64, value any) {
 
 func (pe *PE) handleBroadcast(env envelope) {
 	size := pe.rt.cfg.controlMsgSize()
-	if pe.childL >= 0 {
-		pe.rt.sendFrom(pe.index, pe.childL, env, size)
-	}
-	if pe.childR >= 0 {
-		pe.rt.sendFrom(pe.index, pe.childR, env, size)
+	if pe.rt.cfg.NewFabric != nil {
+		// Over a real transport the relay tree is a shutdown hazard: a
+		// terminate broadcast makes the first PE to process it stop every
+		// sibling in its process (RequestExit), including siblings that
+		// still hold their own copy undispatched — and with it the relay
+		// duty to their (possibly remote) subtree, which would then never
+		// terminate. The root fans out directly instead: every send is on
+		// the fabric before the root's own handler can initiate shutdown,
+		// so no delivery depends on an intermediate PE staying alive.
+		if pe.index == 0 {
+			for i := 1; i < len(pe.rt.pes); i++ {
+				pe.rt.sendFrom(pe.index, i, env, size)
+			}
+		}
+	} else {
+		if pe.childL >= 0 {
+			pe.rt.sendFrom(pe.index, pe.childL, env, size)
+		}
+		if pe.childR >= 0 {
+			pe.rt.sendFrom(pe.index, pe.childR, env, size)
+		}
 	}
 	pe.handler.OnBroadcast(pe, env.epoch, env.payload)
 }
@@ -729,10 +848,10 @@ func (rt *Runtime) quiescenceMonitor() {
 		}
 		cur := snap{rt.sent.Load(), rt.delivered.Load(), rt.idlePEs.Load()}
 		quiet := cur.sent == cur.delivered &&
-			cur.idle == int64(len(rt.pes)) &&
-			rt.net.QueueLen() == 0
+			cur.idle == int64(rt.hi-rt.lo) &&
+			rt.fab.QueueLen() == 0
 		if quiet && havePrev && cur == prev {
-			rt.pes[0].selfPush(envelope{kind: kindQuiesce})
+			rt.pes[rt.lo].selfPush(envelope{kind: kindQuiesce})
 			return
 		}
 		prev, havePrev = cur, quiet

@@ -81,16 +81,24 @@ type Spec struct {
 	// Fault is the fabric fault profile; FaultNone for the classic matrix.
 	// Fault runs execute acic with the relnet reliability layer enabled.
 	Fault Fault
-	Seed  uint64
+	// Fabric selects the transport: "" is the simulated in-process fabric
+	// (netsim), "tcp" is real loopback sockets (sockfab). The TCP sub-matrix
+	// enumerates each of its spec shapes under both values, pinning that the
+	// algorithm is fabric-agnostic.
+	Fabric string
+	Seed   uint64
 }
 
 func (s Spec) String() string {
-	if s.Fault != "" && s.Fault != FaultNone {
-		return fmt.Sprintf("run=%d algo=%s graph=%s topo=%s profile=%s fault=%s seed=%#x",
-			s.Index, s.Algo, s.Graph, s.Topo, s.Profile, s.Fault, s.Seed)
+	out := fmt.Sprintf("run=%d algo=%s graph=%s topo=%s profile=%s",
+		s.Index, s.Algo, s.Graph, s.Topo, s.Profile)
+	if s.faulted() {
+		out += fmt.Sprintf(" fault=%s", s.Fault)
 	}
-	return fmt.Sprintf("run=%d algo=%s graph=%s topo=%s profile=%s seed=%#x",
-		s.Index, s.Algo, s.Graph, s.Topo, s.Profile, s.Seed)
+	if s.Fabric != "" {
+		out += fmt.Sprintf(" fabric=%s", s.Fabric)
+	}
+	return out + fmt.Sprintf(" seed=%#x", s.Seed)
 }
 
 // Failure is one run that violated the oracle or a conservation invariant.
@@ -140,6 +148,10 @@ func topoByName(name string) netsim.Topology {
 		return netsim.SingleNode(8)
 	case "paper1":
 		return netsim.PaperNode(1)
+	case "multi4":
+		// Four processes of two PEs each — the multi-process shape the TCP
+		// sub-matrix drives over real loopback sockets.
+		return netsim.Topology{Nodes: 1, ProcsPerNode: 4, PEsPerProc: 2}
 	}
 	panic(fmt.Sprintf("stress: unknown topology %q", name))
 }
@@ -182,27 +194,44 @@ func enumerate(opts Options) []Spec {
 	if rounds <= 0 {
 		rounds = 1
 	}
+	tcpTopos := []string{"single4", "multi4"}
+	tcpGraphs := []string{"uniform", "rmat"}
+	if opts.Short {
+		tcpTopos = []string{"multi4"}
+		tcpGraphs = []string{"uniform"}
+	}
 	var specs []Spec
-	add := func(algo, graphName, topoName string, p Profile, f Fault) {
+	add := func(algo, graphName, topoName string, p Profile, f Fault, fabric string) {
 		idx := len(specs)
 		seed := xrand.NewSplitMix64(opts.Seed ^ (uint64(idx)+1)*0x9e3779b97f4a7c15).Next()
-		specs = append(specs, Spec{Index: idx, Algo: algo, Graph: graphName, Topo: topoName, Profile: p, Fault: f, Seed: seed})
+		specs = append(specs, Spec{Index: idx, Algo: algo, Graph: graphName, Topo: topoName, Profile: p, Fault: f, Fabric: fabric, Seed: seed})
 	}
 	for r := 0; r < rounds; r++ {
 		if churn != ChurnOnly {
 			for _, p := range profiles {
 				// The fabric hammer runs once per profile per round, plus the
 				// tightest-timing zero-latency case.
-				add("fabric", "-", "paper1", p, FaultNone)
+				add("fabric", "-", "paper1", p, FaultNone, "")
 			}
-			add("fabric", "-", "paper1", ProfileNone, FaultNone)
+			add("fabric", "-", "paper1", ProfileNone, FaultNone, "")
 			for _, algo := range Algorithms()[1:] {
 				for _, topoName := range topos {
 					for _, graphName := range graphs {
 						for _, p := range profiles {
-							add(algo, graphName, topoName, p, FaultNone)
+							add(algo, graphName, topoName, p, FaultNone, "")
 						}
 					}
+				}
+			}
+			// The TCP sub-matrix: acic over real loopback sockets (sockfab),
+			// each shape enumerated back to back with the identical spec on
+			// the simulated fabric. Real sockets own their timing, so jitter
+			// profiles and fault plans do not apply; both members of a pair
+			// run ProfileNone/FaultNone and differ only in Fabric.
+			for _, topoName := range tcpTopos {
+				for _, graphName := range tcpGraphs {
+					add("acic", graphName, topoName, ProfileNone, FaultNone, "")
+					add("acic", graphName, topoName, ProfileNone, FaultNone, "tcp")
 				}
 			}
 			// The lossy-fabric sub-matrix: acic over an actively hostile fabric
@@ -216,7 +245,7 @@ func enumerate(opts Options) []Spec {
 				for _, topoName := range faultTopos {
 					for _, graphName := range faultGraphs {
 						for _, p := range faultProfiles {
-							add("acic", graphName, topoName, p, f)
+							add("acic", graphName, topoName, p, f, "")
 						}
 					}
 				}
@@ -227,7 +256,7 @@ func enumerate(opts Options) []Spec {
 		// injection do not apply — the mutation path is synchronous.
 		if churn != ChurnOff {
 			for _, graphName := range churnGraphs {
-				add("churn", graphName, "single4", ProfileNone, FaultNone)
+				add("churn", graphName, "single4", ProfileNone, FaultNone, "")
 			}
 		}
 	}
@@ -373,6 +402,13 @@ func runSpec(spec Spec, short bool) error {
 	switch spec.Algo {
 	case "acic":
 		copts := core.Options{Topo: topo, Latency: lat, Jitter: jit}
+		if spec.Fabric == "tcp" {
+			// Real sockets own their timing: no latency model, no jitter,
+			// no fault plan. The oracle and the conservation checks are
+			// unchanged — the run must balance the extended ledger identity
+			// including the per-process boundary counters.
+			copts = core.Options{Topo: topo, Transport: core.TransportTCP}
+		}
 		if spec.faulted() {
 			copts.Fault = fp
 			copts.Reliability = &relnet.Config{}
@@ -458,6 +494,13 @@ func dumpArtifacts(spec Spec, short bool, artifactDir string, timeout time.Durat
 		Params:  p,
 		Trace:   rec,
 		Metrics: reg,
+	}
+	if spec.Fabric == "tcp" {
+		// Mirror runSpec: a TCP replay must not install sim-only knobs,
+		// which core.Run rejects under TransportTCP.
+		copts.Latency = netsim.LatencyModel{}
+		copts.Jitter = nil
+		copts.Transport = core.TransportTCP
 	}
 	if spec.faulted() {
 		copts.Fault = fp

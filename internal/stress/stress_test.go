@@ -168,6 +168,77 @@ func TestFaultMatrixEnumeration(t *testing.T) {
 	}
 }
 
+// TestTCPMatrixEnumeration pins the TCP sub-matrix's shape: every sockfab
+// spec is acic-only, jitter- and fault-free, labels its fabric in String()
+// (the replay breadcrumb), and is immediately preceded by the identical
+// shape on the simulated fabric — the same-spec-on-both-fabrics contract.
+func TestTCPMatrixEnumeration(t *testing.T) {
+	specs := enumerate(Options{Seed: 42, Short: true, Churn: ChurnOff})
+	var tcp []Spec
+	for i, s := range specs {
+		if s.Fabric == "" {
+			continue
+		}
+		if s.Fabric != "tcp" {
+			t.Fatalf("unknown fabric %q in %+v", s.Fabric, s)
+		}
+		tcp = append(tcp, s)
+		if s.Algo != "acic" || s.Profile != ProfileNone || s.faulted() {
+			t.Errorf("tcp spec with sim-only knobs: %+v", s)
+		}
+		if !strings.Contains(s.String(), "fabric=tcp") {
+			t.Errorf("Spec.String misses the fabric: %s", s)
+		}
+		if i == 0 {
+			t.Fatalf("tcp spec %+v has no netsim twin before it", s)
+		}
+		twin := specs[i-1]
+		if twin.Fabric != "" || twin.Algo != s.Algo || twin.Graph != s.Graph ||
+			twin.Topo != s.Topo || twin.Profile != s.Profile || twin.Fault != s.Fault {
+			t.Errorf("tcp spec %+v not paired with a netsim twin (%+v)", s, twin)
+		}
+	}
+	if len(tcp) == 0 {
+		t.Fatal("short matrix enumerates no tcp specs")
+	}
+	seenMulti := false
+	for _, s := range tcp {
+		if topoByName(s.Topo).TotalProcs() > 1 {
+			seenMulti = true
+		}
+	}
+	if !seenMulti {
+		t.Error("no tcp spec spans multiple processes")
+	}
+}
+
+// TestTCPRunSmoke executes one sockfab run end to end through the harness:
+// the spec's netsim twin ran in the short smoke, so a green pair is the
+// same-spec-on-both-fabrics guarantee.
+func TestTCPRunSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a full TCP mesh")
+	}
+	specs := enumerate(Options{Seed: 1, Short: true, Churn: ChurnOff})
+	idx := -1
+	for _, s := range specs {
+		if s.Fabric == "tcp" {
+			idx = s.Index
+			break
+		}
+	}
+	if idx < 0 {
+		t.Fatal("no tcp spec in the short matrix")
+	}
+	rep, err := Run(Options{Seed: 1, Short: true, Churn: ChurnOff, Only: &idx, Timeout: time.Minute})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Total != 1 || len(rep.Failures) != 0 {
+		t.Fatalf("tcp run: total %d failures %v", rep.Total, rep.Failures)
+	}
+}
+
 // TestChurnMatrixEnumeration pins the churn sub-matrix's shape: ChurnOn
 // appends churn specs after the classic+fault matrix without disturbing
 // their indices or seeds, ChurnOff removes exactly those specs, and

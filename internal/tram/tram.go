@@ -295,6 +295,17 @@ func (m *Manager[T]) Borrow(srcPE int) []T {
 	return m.newBuf(srcPE)
 }
 
+// BorrowShared is Borrow for callers with no PE goroutine of their own —
+// a transport's frame decoder materializing an arriving batch on a
+// socket-reader goroutine. The buffer comes from the arena's shared
+// spill; the get lands on shard 0, mirroring Release's accounting, so
+// PoolGets == PoolPuts still holds at quiescence when the receiving PE
+// hands the decoded buffer back through Release/ReleaseTo.
+func (m *Manager[T]) BorrowShared() []T {
+	m.poolGets.Add(0, 1)
+	return m.pool.GetShared()
+}
+
 // Release returns a flushed batch's backing array to the manager so a
 // future buffer can reuse its capacity. Call it after fully unpacking
 // batch.Items; the slice must not be touched afterwards. Undersized slices

@@ -1,0 +1,265 @@
+package wire
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"testing"
+)
+
+// testMsg is a stand-in for a registered message: a fixed header plus a
+// variable-length payload, enough to exercise count validation.
+type testMsg struct {
+	id    int32
+	items []int64
+}
+
+// testNest exercises nested values: its inner field is itself a tagged value.
+type testNest struct {
+	epoch int64
+	inner any
+}
+
+const (
+	tagTest byte = 0x80
+	tagNest byte = 0x81
+)
+
+func testCodec() *Codec {
+	c := NewCodec()
+	c.Register(tagTest, testMsg{}, func(c *Codec, buf []byte, v any) ([]byte, error) {
+		m := v.(testMsg)
+		buf = AppendI32(buf, m.id)
+		buf = AppendU32(buf, uint32(len(m.items)))
+		for _, it := range m.items {
+			buf = AppendI64(buf, it)
+		}
+		return buf, nil
+	}, func(c *Codec, r *Reader) (any, error) {
+		var m testMsg
+		m.id = r.I32()
+		n := int(r.U32())
+		if r.Err() != nil {
+			return nil, r.Err()
+		}
+		if n*8 > r.Remaining() {
+			return nil, ErrMalformed
+		}
+		if n > 0 {
+			m.items = make([]int64, n)
+			for i := range m.items {
+				m.items[i] = r.I64()
+			}
+		}
+		return m, nil
+	}, nil)
+	c.Register(tagNest, testNest{}, func(c *Codec, buf []byte, v any) ([]byte, error) {
+		m := v.(testNest)
+		buf = AppendI64(buf, m.epoch)
+		return c.AppendValue(buf, m.inner)
+	}, func(c *Codec, r *Reader) (any, error) {
+		var m testNest
+		m.epoch = r.I64()
+		inner, err := c.ReadValue(r)
+		if err != nil {
+			return nil, err
+		}
+		m.inner = inner
+		return m, nil
+	}, nil)
+	return c
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	c := testCodec()
+	want := testMsg{id: -7, items: []int64{1, -2, 1 << 40}}
+	frame, err := c.EncodeFrame(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, n, err := c.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(frame) {
+		t.Errorf("consumed %d of %d bytes", n, len(frame))
+	}
+	gm := got.(testMsg)
+	if gm.id != want.id || len(gm.items) != len(want.items) {
+		t.Fatalf("round trip: got %+v want %+v", gm, want)
+	}
+	for i := range want.items {
+		if gm.items[i] != want.items[i] {
+			t.Fatalf("item %d: got %d want %d", i, gm.items[i], want.items[i])
+		}
+	}
+}
+
+func TestNestedValueRoundTrip(t *testing.T) {
+	c := testCodec()
+	want := testNest{epoch: 42, inner: testMsg{id: 3, items: []int64{9}}}
+	frame, err := c.EncodeFrame(nil, want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := c.DecodeFrame(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gn := got.(testNest)
+	if gn.epoch != 42 || gn.inner.(testMsg).id != 3 {
+		t.Fatalf("nested round trip: %+v", gn)
+	}
+}
+
+func TestAfterEncodeFiresOncePerEncode(t *testing.T) {
+	c := NewCodec()
+	var fired int
+	c.Register(tagTest, testMsg{}, func(c *Codec, buf []byte, v any) ([]byte, error) {
+		return AppendI32(buf, v.(testMsg).id), nil
+	}, func(c *Codec, r *Reader) (any, error) {
+		return testMsg{id: r.I32()}, nil
+	}, func(v any) { fired++ })
+	if _, err := c.EncodeFrame(nil, testMsg{id: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if fired != 1 {
+		t.Errorf("afterEncode fired %d times, want 1", fired)
+	}
+}
+
+func TestDecodeRejections(t *testing.T) {
+	c := testCodec()
+	frame, err := c.EncodeFrame(nil, testMsg{id: 1, items: []int64{5}})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name string
+		mut  func([]byte) []byte
+		want error
+	}{
+		{"empty", func(f []byte) []byte { return nil }, ErrTruncated},
+		{"cut header", func(f []byte) []byte { return f[:3] }, ErrTruncated},
+		{"cut body", func(f []byte) []byte { return f[:len(f)-1] }, ErrTruncated},
+		{"oversized length", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			binary.BigEndian.PutUint32(g, MaxBody+3)
+			return g
+		}, ErrOversized},
+		{"length below preamble", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			binary.BigEndian.PutUint32(g, 1)
+			return g
+		}, ErrMalformed},
+		{"version skew", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			g[4] = Version + 1
+			return g
+		}, ErrVersion},
+		{"unknown tag", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			g[5] = 0x7f
+			return g
+		}, ErrUnknownTag},
+		{"trailing bytes", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			g = append(g, 0xee)
+			binary.BigEndian.PutUint32(g, uint32(len(g)-4))
+			return g
+		}, ErrTrailing},
+		{"count past body", func(f []byte) []byte {
+			g := append([]byte(nil), f...)
+			// items count lives after [hdr 6][id 4]
+			binary.BigEndian.PutUint32(g[10:], 1<<30)
+			return g
+		}, ErrMalformed},
+	}
+	for _, tc := range cases {
+		if _, _, err := c.DecodeFrame(tc.mut(frame)); !errors.Is(err, tc.want) {
+			t.Errorf("%s: err = %v, want %v", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestEncodeUnregisteredType(t *testing.T) {
+	c := testCodec()
+	if _, err := c.EncodeFrame(nil, "nope"); !errors.Is(err, ErrUnknownTag) {
+		t.Errorf("err = %v, want ErrUnknownTag", err)
+	}
+}
+
+func TestRegisterDuplicatesPanic(t *testing.T) {
+	for _, dup := range []struct {
+		name string
+		tag  byte
+		val  any
+	}{{"tag", tagTest, testNest{}}, {"type", 0x90, testMsg{}}} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("duplicate %s registration did not panic", dup.name)
+				}
+			}()
+			c := testCodec()
+			c.Register(dup.tag, dup.val, nil, nil, nil)
+		}()
+	}
+}
+
+func TestReadFrameStream(t *testing.T) {
+	c := testCodec()
+	var stream []byte
+	msgs := []testMsg{{id: 1}, {id: 2, items: []int64{3, 4}}}
+	for _, m := range msgs {
+		var err error
+		stream, err = c.EncodeFrame(stream, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	r := bytes.NewReader(stream)
+	var buf []byte
+	for i := 0; ; i++ {
+		frame, err := ReadFrame(r, buf)
+		if err == io.EOF {
+			if i != len(msgs) {
+				t.Fatalf("stream ended after %d frames, want %d", i, len(msgs))
+			}
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		buf = frame // reuse capacity like a transport reader would
+		v, _, err := c.DecodeFrame(frame)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.(testMsg).id != msgs[i].id {
+			t.Errorf("frame %d: id %d, want %d", i, v.(testMsg).id, msgs[i].id)
+		}
+	}
+
+	// A stream dying mid-frame is a protocol error, not a clean EOF.
+	if _, err := ReadFrame(bytes.NewReader(stream[:5]), nil); !errors.Is(err, ErrTruncated) {
+		t.Errorf("mid-frame EOF: err = %v, want ErrTruncated", err)
+	}
+	// A hostile length prefix is rejected before allocation.
+	evil := []byte{0xff, 0xff, 0xff, 0xff}
+	if _, err := ReadFrame(bytes.NewReader(evil), nil); !errors.Is(err, ErrOversized) {
+		t.Errorf("hostile prefix: err = %v, want ErrOversized", err)
+	}
+}
+
+func TestReaderStickyError(t *testing.T) {
+	r := NewReader([]byte{1, 2})
+	if got := r.U32(); got != 0 || r.Err() == nil {
+		t.Errorf("overrun U32 = %d err %v, want 0 with sticky error", got, r.Err())
+	}
+	if got := r.U8(); got != 0 {
+		t.Errorf("read after sticky error = %d, want 0", got)
+	}
+}

@@ -28,6 +28,8 @@ BENCHES=(
   "BenchmarkMailbox/spsc-burst64|./internal/runtime|"
   "BenchmarkNetsimSend|./internal/netsim|"
   "BenchmarkTramInsertFlush|./internal/tram|"
+  "BenchmarkWireEncodeBatch|./internal/core|"
+  "BenchmarkWireDecodeReduce|./internal/core|"
   "BenchmarkHotPathSSSP|./internal/bench|-benchtime=10x"
 )
 
@@ -52,12 +54,22 @@ run_pattern() {
 # run_once NAME PKG EXTRA >> runs.txt: one benchmark execution, appending
 # exactly one "ns bytes allocs" line. The awk match is exact (modulo the
 # -GOMAXPROCS suffix go test appends), so a sibling like spsc-pingpong can
-# never be mistaken for pingpong.
+# never be mistaken for pingpong. Values are picked by their unit label, not
+# column position: a benchmark using b.SetBytes inserts an MB/s column that
+# would otherwise shift B/op and allocs/op into the wrong fields.
 run_once() {
   local name="$1" pkg="$2" extra="$3"
   # shellcheck disable=SC2086
   go test -run='^$' -bench="$(run_pattern "$name")" -benchmem $extra "$pkg" \
-    | awk -v want="$name" '$1 ~ "^"want"(-[0-9]+)?$" { print $3, $5, $7 }' >>"$TMP/runs.txt"
+    | awk -v want="$name" '$1 ~ "^"want"(-[0-9]+)?$" {
+        ns = b = a = 0
+        for (i = 2; i < NF; i++) {
+          if ($(i+1) == "ns/op") ns = $i
+          else if ($(i+1) == "B/op") b = $i
+          else if ($(i+1) == "allocs/op") a = $i
+        }
+        print ns, b, a
+      }' >>"$TMP/runs.txt"
 }
 
 # stats < runs.txt: prints "mean spread bytes allocs flag kept_list" where

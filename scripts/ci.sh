@@ -46,6 +46,7 @@ go test -race ./...
 echo "== fuzz smoke (10s per target; one target per invocation) =="
 go test -run '^$' -fuzz '^FuzzGraphLoadCSV$' -fuzztime 10s ./internal/graph
 go test -run '^$' -fuzz '^FuzzHistogramMerge$' -fuzztime 10s ./internal/histogram
+go test -run '^$' -fuzz '^FuzzFrameDecode$' -fuzztime 10s ./internal/wire
 
 echo "== schedule-stress harness (short matrix, incl. fault sub-matrix) =="
 go run ./cmd/acic-stress -short
@@ -66,6 +67,18 @@ echo "== query-service smoke (daemon: concurrent sssp+path, cache hit, 429 shed,
 # asserts a cache hit on a repeated source and a 429 + Retry-After under
 # 16-way fan-in at capacity 2, then SIGTERMs it and requires a clean exit.
 go test -count=1 -run '^TestDaemonSmoke$' ./cmd/acic-serve
+
+echo "== multi-process loopback smoke (4 worker OS processes over TCP) =="
+# acic-launch spawns four worker processes, runs SSSP over real loopback
+# sockets, and verifies the merged result against Dijkstra plus the
+# per-process conservation ledgers and cross-process boundary balance
+# (-verify is the default). The -race build guards the codec and the
+# sockfab reader/writer goroutines.
+launch_bin="$(mktemp -d)/acic-launch"
+go build -o "$launch_bin" ./cmd/acic-launch
+"$launch_bin" -kind rmat -scale 9 -ppn 4 -pepp 2
+go run -race ./cmd/acic-launch -kind random -scale 9 -ppn 4 -pepp 2
+rm -rf "$(dirname "$launch_bin")"
 
 echo "== lossy-fabric stage (drop+dup+reorder healed by the relnet layer) =="
 go run ./cmd/acic-run -algo acic -kind random -scale 10 -fault lossy -verify
